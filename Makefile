@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test bench report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerates every paper table/figure into bench_artifacts/.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full default-scale study: every table and figure on stdout.
+report:
+	$(GO) run ./cmd/blreport
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/bencode/
+	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/krpc/
+	$(GO) test -fuzz FuzzParseLog -fuzztime 30s ./internal/crawler/
+
+clean:
+	rm -rf bench_artifacts

@@ -1,0 +1,247 @@
+// Command blcrawl runs the paper's BitTorrent NAT-detection crawler.
+//
+// In the default simulated mode it generates a synthetic world, instantiates
+// its BitTorrent population on the deterministic network simulator and
+// crawls it for the given simulated duration, printing crawl statistics and
+// the detected NATed addresses.
+//
+// With -real N it instead spawns N genuine DHT nodes on loopback UDP
+// sockets — including a NAT-like multi-node group sharing ports behind one
+// address is not possible on loopback, so the real mode demonstrates the
+// crawler against live sockets and reports discovery statistics.
+//
+// Usage:
+//
+//	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-out FILE]
+//	blcrawl -real 50 [-duration DUR]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/crawler"
+	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blcrawl: ")
+	var (
+		seed     = flag.Int64("seed", 1, "world seed")
+		scale    = flag.Float64("scale", 0.5, "world scale")
+		duration = flag.Duration("duration", 24*time.Hour, "crawl duration (simulated; wall-clock in -real mode)")
+		loss     = flag.Float64("loss", 0.28, "datagram loss probability (simulated mode)")
+		out      = flag.String("out", "", "write detected NATed addresses to this file")
+		msgLog   = flag.String("log", "", "write the crawler message log to this file (replayable with crawler.Replay)")
+		realN    = flag.Int("real", 0, "run against N real DHT nodes on loopback UDP instead of the simulator")
+		replay   = flag.String("replay", "", "post-process an existing message log instead of crawling")
+		window   = flag.Duration("window", 30*time.Second, "ping-window for -replay scoring")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		runReplay(*replay, *window)
+		return
+	}
+	if *realN > 0 {
+		runReal(*realN, *duration)
+		return
+	}
+	runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog)
+}
+
+// runReplay reproduces NAT determination offline from a message log — the
+// paper's post-processing step.
+func runReplay(path string, window time.Duration) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, err := crawler.ParseLog(bufio.NewReader(f))
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := crawler.Replay(events, window)
+	fmt.Printf("replayed %d log events -> %d NATed addresses\n", len(events), len(obs))
+	for _, o := range obs {
+		fmt.Printf("%s\tusers>=%d\tports=%d\n", o.Addr, o.Users, o.PortsSeen)
+	}
+}
+
+func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string) {
+	wp := blgen.DefaultParams(seed)
+	wp.Scale = scale
+	w := blgen.Generate(wp)
+	fmt.Fprintf(os.Stderr, "world: %d BT users, %d NAT gateways\n", len(w.BTUsers), len(w.NATs))
+
+	scope := w.BlocklistedSpace()
+	swarm, err := core.BuildSwarm(w, core.SwarmConfig{Loss: loss, Seed: seed}, scope.Covers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sock, err := swarm.Net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr("198.18.0.1"), Port: 9999})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccfg := crawler.Config{
+		Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
+		Scope:     scope.Covers,
+		Seed:      seed,
+	}
+	if msgLog != "" {
+		lf, err := os.Create(msgLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := lf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w := bufio.NewWriter(lf)
+		defer w.Flush()
+		ccfg.EventLog = w
+	}
+	c := crawler.New(sock, dht.SimClock(swarm.Clock), ccfg)
+	swarm.Clock.RunFor(time.Minute)
+	c.Start()
+	start := time.Now()
+	swarm.Clock.RunFor(duration)
+	c.Stop()
+
+	st := c.Stats()
+	fmt.Printf("crawled %v of simulated time in %v\n", duration, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("messages sent:      %d (get_nodes %d, bt_ping %d)\n", st.MessagesSent, st.GetNodesSent, st.PingsSent)
+	fmt.Printf("responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
+	fmt.Printf("unique IPs:         %d\n", st.UniqueIPs)
+	fmt.Printf("unique node IDs:    %d\n", st.UniqueNodeIDs)
+	fmt.Printf("multi-port IPs:     %d\n", st.MultiPortIPs)
+	fmt.Printf("NATed IPs:          %d (max %d simultaneous users)\n", st.NATedIPs, st.SimultaneousMax)
+
+	detected := iputil.NewSet()
+	truePositives := 0
+	for _, o := range c.NATed() {
+		detected.Add(o.Addr)
+		if _, ok := w.NATByIP[o.Addr]; ok {
+			truePositives++
+		}
+	}
+	if detected.Len() > 0 {
+		fmt.Printf("ground truth:       %d/%d detected addresses are true NAT gateways\n",
+			truePositives, detected.Len())
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := blocklist.WritePlain(f, detected, "NATed addresses detected by blcrawl"); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d addresses to %s\n", detected.Len(), out)
+	}
+}
+
+// runReal spawns n real DHT nodes on loopback UDP and crawls them with the
+// same crawler code over a real socket.
+func runReal(n int, duration time.Duration) {
+	var mu sync.Mutex
+	clock := dht.LockedClock(&mu, dht.WallClock())
+
+	var nodes []*dht.Node
+	var socks []*dht.RealSocket
+	var eps []netsim.Endpoint
+	for i := 0; i < n; i++ {
+		pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sock := dht.NewRealSocket(pc, &mu)
+		mu.Lock()
+		node := dht.NewNode(sock, clock, dht.Config{
+			IDSeed: uint64(i + 1), Seed: int64(i + 1), Version: "RB01",
+		})
+		mu.Unlock()
+		ep, _ := sock.PublicEndpoint()
+		nodes = append(nodes, node)
+		socks = append(socks, sock)
+		eps = append(eps, ep)
+	}
+	// Mesh the nodes.
+	mu.Lock()
+	for i, node := range nodes {
+		for d := 1; d <= 4; d++ {
+			j := (i + d) % n
+			node.AddNode(infoFor(nodes[j], eps[j]))
+		}
+	}
+	mu.Unlock()
+
+	pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	csock := dht.NewRealSocket(pc, &mu)
+	mu.Lock()
+	c := crawler.New(csock, clock, crawler.Config{
+		Bootstrap:     []netsim.Endpoint{eps[0]},
+		Seed:          1,
+		Tick:          200 * time.Millisecond,
+		SweepInterval: 5 * time.Second,
+		PingInterval:  5 * time.Second,
+		PingWindow:    time.Second,
+		Cooldown:      2 * time.Second,
+		QueryTimeout:  time.Second,
+	})
+	c.Start()
+	mu.Unlock()
+
+	fmt.Printf("crawling %d real loopback DHT nodes for %v...\n", n, duration)
+	time.Sleep(duration)
+
+	mu.Lock()
+	c.Stop()
+	st := c.Stats()
+	mu.Unlock()
+	fmt.Printf("messages sent:      %d\n", st.MessagesSent)
+	fmt.Printf("responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
+	fmt.Printf("unique IPs:         %d (loopback shares 127.0.0.1 across ports)\n", st.UniqueIPs)
+	fmt.Printf("unique node IDs:    %d of %d\n", st.UniqueNodeIDs, n)
+	fmt.Printf("NATed IPs:          %d\n", st.NATedIPs)
+	if st.NATedIPs == 1 {
+		fmt.Println("note: all loopback nodes share 127.0.0.1, so the crawler correctly")
+		fmt.Println("      identifies it as one address shared by many simultaneous users —")
+		fmt.Println("      exactly the NAT signature of §3.1.")
+	}
+
+	mu.Lock()
+	for _, node := range nodes {
+		node.Close()
+	}
+	c.Stop()
+	mu.Unlock()
+	for _, s := range socks {
+		s.Wait()
+	}
+}
+
+func infoFor(n *dht.Node, ep netsim.Endpoint) krpc.NodeInfo {
+	return krpc.NodeInfo{ID: n.ID(), Addr: ep.Addr, Port: ep.Port}
+}

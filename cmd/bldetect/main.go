@@ -1,0 +1,76 @@
+// Command bldetect runs the paper's dynamic-address detection pipeline
+// (§3.2) over a RIPE Atlas connection log in the CSV format produced by
+// cmd/blgen (or ripeatlas.WriteLogs), printing the funnel, the knee
+// threshold, and the detected dynamic /24 prefixes.
+//
+// Usage:
+//
+//	bldetect -logs FILE [-min-alloc N] [-expand BITS] [-prefixes-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/ripeatlas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bldetect: ")
+	var (
+		logsPath = flag.String("logs", "", "RIPE connection-log CSV (required)")
+		minAlloc = flag.Int("min-alloc", 0, "override the knee threshold with a fixed allocation count")
+		expand   = flag.Int("expand", 24, "prefix length dynamic addresses are expanded to")
+		maxMean  = flag.Duration("max-mean-change", 24*time.Hour, "maximum mean time between changes")
+		outPath  = flag.String("prefixes-out", "", "write detected dynamic prefixes to this file")
+	)
+	flag.Parse()
+	if *logsPath == "" {
+		log.Fatal("-logs is required")
+	}
+	f, err := os.Open(*logsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := ripeatlas.ReadLogs(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %d log entries\n", len(entries))
+
+	res := ripeatlas.Detect(entries, ripeatlas.DetectOptions{
+		MinAllocations:        *minAlloc,
+		ExpandBits:            *expand,
+		MaxMeanChangeInterval: *maxMean,
+	})
+	fmt.Printf("probes:                         %d\n", res.TotalProbes)
+	fmt.Printf("  multi-AS (excluded):          %d\n", res.MultiASProbes)
+	fmt.Printf("  never changed address:        %d\n", res.NoChangeProbes)
+	fmt.Printf("  changed within one AS:        %d\n", res.SameASProbes)
+	fmt.Printf("knee threshold (allocations):   %d\n", res.KneeThreshold)
+	fmt.Printf("  frequent (>= threshold):      %d\n", res.FrequentProbes)
+	fmt.Printf("  changing daily (final):       %d\n", res.DailyProbes)
+	fmt.Printf("addresses observed:             %d\n", res.AllAddresses.Len())
+	fmt.Printf("dynamic addresses:              %d\n", res.DynamicAddresses.Len())
+	fmt.Printf("dynamic /%d prefixes:           %d\n", *expand, res.DynamicPrefixes.Len())
+
+	if *outPath != "" {
+		out, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "# dynamic prefixes detected by bldetect (threshold %d)\n", res.KneeThreshold)
+		for _, p := range res.DynamicPrefixes.Sorted() {
+			fmt.Fprintln(out, p)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d prefixes to %s\n", res.DynamicPrefixes.Len(), *outPath)
+	}
+}

@@ -1,0 +1,104 @@
+// Command blreport runs the full reproduction study — world generation,
+// BitTorrent crawl, RIPE pipeline, ICMP baseline, operator survey — and
+// prints every table and figure of the paper, plus ground-truth scores and
+// the published reused-address list.
+//
+// Usage:
+//
+//	blreport [-seed N] [-scale F] [-crawl DUR] [-skip-crawl] [-skip-icmp]
+//	         [-reused-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/stats"
+	"github.com/reuseblock/reuseblock/internal/svgplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blreport: ")
+	var (
+		seed      = flag.Int64("seed", 1, "world seed")
+		scale     = flag.Float64("scale", 1, "world scale (1 = default bench world)")
+		crawl     = flag.Duration("crawl", 0, "simulated crawl duration (default 48h)")
+		skipCrawl = flag.Bool("skip-crawl", false, "skip the BitTorrent crawl stage")
+		skipICMP  = flag.Bool("skip-icmp", false, "skip the ICMP survey baseline")
+		reusedOut = flag.String("reused-out", "", "write the reused-address list to this file")
+		svgDir    = flag.String("svg", "", "also render every figure as SVG into this directory")
+	)
+	flag.Parse()
+
+	wp := blgen.DefaultParams(*seed)
+	wp.Scale = *scale
+	cfg := core.Config{
+		Seed:          *seed,
+		World:         &wp,
+		CrawlDuration: *crawl,
+		SkipCrawl:     *skipCrawl,
+		SkipICMP:      *skipICMP,
+	}
+
+	start := time.Now()
+	study := core.NewStudy(cfg)
+	fmt.Fprintf(os.Stderr, "world generated in %v: %d ASes, %d BitTorrent users, %d feeds\n",
+		time.Since(start).Round(time.Millisecond), len(study.World.ASes),
+		len(study.World.BTUsers), study.World.Registry.Len())
+
+	start = time.Now()
+	report, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "study ran in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Print(report.Render())
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		figures := map[string]struct {
+			fig *stats.Figure
+			opt svgplot.Options
+		}{
+			"figure2.svg": {report.Figure2(), svgplot.Options{LogY: true}},
+			"figure3.svg": {report.Overlap.Figure3(), svgplot.Options{LogY: true}},
+			"figure5.svg": {report.PerList.Figure5(), svgplot.Options{LogY: true}},
+			"figure6.svg": {report.PerList.Figure6(), svgplot.Options{LogY: true}},
+			"figure7.svg": {report.Durations.Figure7(), svgplot.Options{}},
+			"figure8.svg": {report.NATUsers.Figure8(), svgplot.Options{}},
+			"figure9.svg": {report.Figure9(), svgplot.Options{}},
+		}
+		for name, fo := range figures {
+			path := filepath.Join(*svgDir, name)
+			if err := os.WriteFile(path, []byte(svgplot.Render(fo.fig, fo.opt)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rendered %d figures to %s\n", len(figures), *svgDir)
+	}
+
+	if *reusedOut != "" {
+		f, err := os.Create(*reusedOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteReusedList(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d reused addresses to %s\n", report.ReusedAddrs.Len(), *reusedOut)
+	}
+}

@@ -1,0 +1,91 @@
+// Command blserve serves a reused-address dataset over HTTP — the release
+// form of the paper's published list. Point it at the files the pipeline
+// produces (blcrawl -out / -replay output and bldetect -prefixes-out), or
+// let it generate a synthetic study's list.
+//
+// Usage:
+//
+//	blserve -nated FILE -dynamic FILE [-addr :8080]
+//	blserve -generate [-seed N] [-scale F] [-addr :8080]
+//
+// Endpoints: /v1/check?ip=A.B.C.D, /v1/list, /v1/prefixes, /v1/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/reuseapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blserve: ")
+	var (
+		natedF   = flag.String("nated", "", "NATed address list (plain or 'addr<TAB>users')")
+		dynF     = flag.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
+		generate = flag.Bool("generate", false, "run a synthetic study instead of loading files")
+		seed     = flag.Int64("seed", 1, "seed for -generate")
+		scale    = flag.Float64("scale", 0.25, "world scale for -generate")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	data := &reuseapi.Dataset{
+		NATUsers:        map[iputil.Addr]int{},
+		DynamicPrefixes: iputil.NewPrefixSet(),
+		Generated:       time.Now().UTC(),
+	}
+	switch {
+	case *generate:
+		wp := blgen.DefaultParams(*seed)
+		wp.Scale = *scale
+		study := core.NewStudy(core.Config{Seed: *seed, World: &wp, SkipICMP: true})
+		if _, err := study.Run(); err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range study.NATed {
+			data.NATUsers[o.Addr] = o.Users
+		}
+		data.DynamicPrefixes = study.RIPE.DynamicPrefixes
+	case *natedF != "" || *dynF != "":
+		if *natedF != "" {
+			f, err := os.Open(*natedF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data.NATUsers, err = blocklist.ParseNATedList(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *dynF != "" {
+			f, err := os.Open(*dynF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		log.Fatal("provide -nated/-dynamic files or -generate")
+	}
+
+	srv := reuseapi.NewServer(data)
+	fmt.Printf("serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
+		len(data.NATUsers), data.DynamicPrefixes.Len(), *addr)
+	fmt.Printf("try: curl 'http://%s/v1/stats'\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

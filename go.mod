@@ -1,0 +1,3 @@
+module github.com/reuseblock/reuseblock
+
+go 1.22

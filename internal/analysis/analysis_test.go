@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// fixture builds a small collection with known reuse structure:
+//
+//	feed 0 ("spam"): nat1 (3 days), dyn1 (1 day), plain1 (5 days)
+//	feed 1 ("rep"):  nat1 (2 days), plain2 (10 days)
+//	feed 2 ("ddos"): empty
+func fixture(t *testing.T) *Inputs {
+	t.Helper()
+	reg, err := blocklist.NewRegistry([]blocklist.Feed{
+		{Name: "spam", Type: blocklist.Spam},
+		{Name: "rep", Type: blocklist.Reputation},
+		{Name: "ddos", Type: blocklist.DDoS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := make([]time.Time, 20)
+	for i := range days {
+		days[i] = time.Date(2019, 8, 3+i, 0, 0, 0, 0, time.UTC)
+	}
+	col := blocklist.NewCollection(reg, days)
+	nat1 := iputil.MustParseAddr("100.64.0.1")
+	dyn1 := iputil.MustParseAddr("10.1.0.7")
+	plain1 := iputil.MustParseAddr("20.0.0.1")
+	plain2 := iputil.MustParseAddr("20.0.0.2")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(col.RecordSpan(0, nat1, 0, 2))
+	must(col.RecordSpan(0, dyn1, 4, 4))
+	must(col.RecordSpan(0, plain1, 0, 4))
+	must(col.RecordSpan(1, nat1, 5, 6))
+	must(col.RecordSpan(1, plain2, 3, 12))
+
+	dynPrefixes := iputil.NewPrefixSet()
+	dynPrefixes.Add(iputil.MustParsePrefix("10.1.0.0/24"))
+	ripePrefixes := iputil.NewPrefixSet()
+	ripePrefixes.Add(iputil.MustParsePrefix("10.1.0.0/24"))
+	ripePrefixes.Add(iputil.MustParsePrefix("20.0.0.0/24"))
+	cai := iputil.NewPrefixSet()
+	cai.Add(iputil.MustParsePrefix("10.1.0.0/24"))
+	cai.Add(iputil.MustParsePrefix("100.64.0.0/24")) // baseline overreach
+
+	bt := iputil.SetOf(nat1, plain1)
+
+	return &Inputs{
+		Collection:      col,
+		NATUsers:        map[iputil.Addr]int{nat1: 3},
+		BTObserved:      bt,
+		DynamicPrefixes: dynPrefixes,
+		RIPEPrefixes:    ripePrefixes,
+		CaiBlocks:       cai,
+		ASNOf: func(a iputil.Addr) (int, bool) {
+			switch a.Slash24() {
+			case iputil.MustParsePrefix("100.64.0.0/24"):
+				return 1, true
+			case iputil.MustParsePrefix("10.1.0.0/24"):
+				return 2, true
+			case iputil.MustParsePrefix("20.0.0.0/24"):
+				return 3, true
+			}
+			return 0, false
+		},
+	}
+}
+
+func TestComputePerListReuse(t *testing.T) {
+	r := ComputePerListReuse(fixture(t))
+	if r.NATedListings != 2 { // nat1 on two feeds
+		t.Errorf("NATedListings = %d", r.NATedListings)
+	}
+	if r.DynamicListings != 1 {
+		t.Errorf("DynamicListings = %d", r.DynamicListings)
+	}
+	if r.CaiDynamicListings != 3 { // dyn1 + nat1 twice (overreach)
+		t.Errorf("CaiDynamicListings = %d", r.CaiDynamicListings)
+	}
+	if r.NATedAddrs != 1 || r.DynamicAddrs != 1 {
+		t.Errorf("unique reused addrs = %d/%d", r.NATedAddrs, r.DynamicAddrs)
+	}
+	if r.FeedsWithoutNATed != 1 || r.FeedsWithoutDynamic != 2 {
+		t.Errorf("zero feeds = %d/%d", r.FeedsWithoutNATed, r.FeedsWithoutDynamic)
+	}
+	if r.NATedPerFeed[0] != 1 || r.NATedPerFeed[1] != 1 || r.NATedPerFeed[2] != 0 {
+		t.Errorf("NATedPerFeed = %v", r.NATedPerFeed)
+	}
+	if len(r.TopNATedFeeds) == 0 || r.TopNATedFeeds[0].Count != 1 {
+		t.Errorf("TopNATedFeeds = %v", r.TopNATedFeeds)
+	}
+	if r.Top10NATedShare != 1 {
+		t.Errorf("Top10NATedShare = %v", r.Top10NATedShare)
+	}
+}
+
+func TestComputeDurations(t *testing.T) {
+	d := ComputeDurations(fixture(t))
+	if d.All.Len() != 5 {
+		t.Fatalf("all listings = %d", d.All.Len())
+	}
+	// NATed listing days: 3 and 2 -> mean 2.5; dynamic: 1.
+	if math.Abs(d.NATedMean-2.5) > 1e-9 {
+		t.Errorf("NATedMean = %v", d.NATedMean)
+	}
+	if d.DynamicMean != 1 {
+		t.Errorf("DynamicMean = %v", d.DynamicMean)
+	}
+	if d.DynamicTwoDay != 1 {
+		t.Errorf("DynamicTwoDay = %v", d.DynamicTwoDay)
+	}
+	if math.Abs(d.NATedTwoDay-0.5) > 1e-9 {
+		t.Errorf("NATedTwoDay = %v", d.NATedTwoDay)
+	}
+	if d.MaxReusedDays != 3 {
+		t.Errorf("MaxReusedDays = %d", d.MaxReusedDays)
+	}
+	fig := d.Figure7()
+	if len(fig.Series) != 3 {
+		t.Errorf("Figure7 series = %d", len(fig.Series))
+	}
+}
+
+func TestComputeNATUsers(t *testing.T) {
+	in := fixture(t)
+	// Add a NATed addr that is NOT blocklisted; it must be excluded.
+	in.NATUsers[iputil.MustParseAddr("100.64.0.99")] = 50
+	n := ComputeNATUsers(in)
+	if n.CDF.Len() != 1 {
+		t.Fatalf("CDF over %d addrs, want 1 (only blocklisted)", n.CDF.Len())
+	}
+	if n.Max != 3 || n.ExactlyTwo != 0 || n.UnderTen != 1 {
+		t.Errorf("NATUsers = %+v", n)
+	}
+}
+
+func TestComputeASOverlap(t *testing.T) {
+	o := ComputeASOverlap(fixture(t))
+	if o.ASesWithBlocklisted != 3 {
+		t.Fatalf("ASes = %d", o.ASesWithBlocklisted)
+	}
+	if o.ASesWithBT != 2 { // AS1 (nat1) and AS3 (plain1)
+		t.Errorf("ASesWithBT = %d", o.ASesWithBT)
+	}
+	if o.ASesWithRIPE != 2 { // AS2 and AS3 prefixes are RIPE-covered
+		t.Errorf("ASesWithRIPE = %d", o.ASesWithRIPE)
+	}
+	// PerAS ordered ascending by blocklisted count; AS3 (2 addrs) last.
+	last := o.PerAS[len(o.PerAS)-1]
+	if last.ASN != 3 || last.Blocklisted != 2 {
+		t.Errorf("top AS = %+v", last)
+	}
+	if o.TopAS != 3 || o.TopASBlocked != 2 {
+		t.Errorf("TopAS = %d/%d", o.TopAS, o.TopASBlocked)
+	}
+	if o.Top10Share != 1 { // only 3 ASes, all within top-10
+		t.Errorf("Top10Share = %v", o.Top10Share)
+	}
+	fig := o.Figure3()
+	if len(fig.Series) != 3 {
+		t.Fatalf("Figure3 series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		lastPt := s.Points[len(s.Points)-1]
+		if lastPt.Y != 1 {
+			t.Errorf("series %q does not end at 1: %v", s.Name, lastPt)
+		}
+	}
+}
+
+func TestComputeFunnel(t *testing.T) {
+	in := fixture(t)
+	stages := RIPEStages{
+		SameAS:   in.RIPEPrefixes,
+		Frequent: in.DynamicPrefixes,
+		Daily:    in.DynamicPrefixes,
+	}
+	f := ComputeFunnel(in, 1000, stages)
+	if f.BTIPs != 1000 || f.NATedIPs != 1 || f.NATedBlocklisted != 1 {
+		t.Errorf("BT path = %+v", f)
+	}
+	if f.BlocklistedInRIPEPrefixes != 3 { // dyn1, plain1, plain2
+		t.Errorf("BlocklistedInRIPEPrefixes = %d", f.BlocklistedInRIPEPrefixes)
+	}
+	if f.DailyBlocklisted != 1 {
+		t.Errorf("DailyBlocklisted = %d", f.DailyBlocklisted)
+	}
+	out := f.Table().Render()
+	if !strings.Contains(out, "NATed + blocklisted IPs") {
+		t.Error("funnel table missing rows")
+	}
+}
+
+func TestScore(t *testing.T) {
+	detected := iputil.SetOf(1, 2, 3)
+	truth := iputil.SetOf(2, 3, 4, 5)
+	pr := Score(detected, truth)
+	if pr.TruePositives != 2 || pr.FalsePositives != 1 || pr.FalseNegatives != 2 {
+		t.Fatalf("Score = %+v", pr)
+	}
+	if math.Abs(pr.Precision-2.0/3) > 1e-9 || math.Abs(pr.Recall-0.5) > 1e-9 {
+		t.Errorf("P/R = %v/%v", pr.Precision, pr.Recall)
+	}
+	empty := Score(iputil.NewSet(), iputil.NewSet())
+	if empty.Precision != 0 || empty.Recall != 0 {
+		t.Error("empty score should be zeros")
+	}
+}
+
+func TestFigures5And6Ranked(t *testing.T) {
+	r := ComputePerListReuse(fixture(t))
+	f5 := r.Figure5()
+	pts := f5.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y > pts[i-1].Y {
+			t.Fatal("Figure 5 series not descending")
+		}
+	}
+	f6 := r.Figure6()
+	if len(f6.Series) != 2 {
+		t.Fatalf("Figure 6 series = %d", len(f6.Series))
+	}
+}
+
+func TestDurationsPerWindowBounds(t *testing.T) {
+	in := fixture(t) // 20 contiguous days -> one window
+	d := ComputeDurations(in)
+	if len(d.MaxReusedPerWindow) != 1 {
+		t.Fatalf("windows = %d", len(d.MaxReusedPerWindow))
+	}
+	if d.MaxReusedPerWindow[0] > 20 {
+		t.Errorf("window max %d exceeds window length", d.MaxReusedPerWindow[0])
+	}
+	if d.MaxReusedPerWindow[0] != d.MaxReusedDays {
+		t.Errorf("single-window max %d != overall %d", d.MaxReusedPerWindow[0], d.MaxReusedDays)
+	}
+}
+
+func TestPerWindowSplitsAcrossGap(t *testing.T) {
+	reg, err := blocklist.NewRegistry([]blocklist.Feed{{Name: "f", Type: blocklist.Spam}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := blocklist.NewCollection(reg, blocklist.MeasurementDays())
+	nat := iputil.MustParseAddr("100.64.0.1")
+	// Present on the last 5 days of window 1 and first 7 of window 2.
+	if err := col.RecordSpan(0, nat, 34, 45); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{
+		Collection: col,
+		NATUsers:   map[iputil.Addr]int{nat: 2},
+		ASNOf:      func(iputil.Addr) (int, bool) { return 0, false },
+	}
+	d := ComputeDurations(in)
+	if d.MaxReusedDays != 12 {
+		t.Errorf("overall = %d", d.MaxReusedDays)
+	}
+	if len(d.MaxReusedPerWindow) != 2 || d.MaxReusedPerWindow[0] != 5 || d.MaxReusedPerWindow[1] != 7 {
+		t.Errorf("per-window = %v", d.MaxReusedPerWindow)
+	}
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/stats"
+)
+
+// ASOverlap is the Fig 3 result: how the blocklisted, BitTorrent-observed
+// and RIPE-covered address populations distribute over autonomous systems.
+type ASOverlap struct {
+	// ASesWithBlocklisted counts ASes holding at least one blocklisted
+	// address; the two overlap counts are subsets ("29.6%" / "17.1%").
+	ASesWithBlocklisted int
+	ASesWithBT          int
+	ASesWithRIPE        int
+
+	// Top10Share is the fraction of all blocklisted addresses in the ten
+	// most-blocklisted ASes (paper: 27.7%); within those ASes, BTShare
+	// and RIPEShare are the fractions that use BitTorrent / sit in RIPE
+	// prefixes (6.4% / 0.7%).
+	Top10Share     float64
+	Top10BTShare   float64
+	Top10RIPEShare float64
+
+	// TopAS describes the single most-blocklisted AS (the paper's
+	// AS4134 analogue).
+	TopAS          int
+	TopASBlocked   int
+	TopASShare     float64
+	TopASBTShare   float64
+	TopASRIPEShare float64
+
+	// Per-AS address counts, ordered by increasing blocklisted count —
+	// the x-axis ordering of Fig 3.
+	PerAS []ASCounts
+}
+
+// ASCounts aggregates one AS.
+type ASCounts struct {
+	ASN         int
+	Blocklisted int
+	BT          int // blocklisted addresses observed running BitTorrent
+	RIPE        int // blocklisted addresses inside RIPE-covered prefixes
+}
+
+// ComputeASOverlap aggregates blocklisted addresses per AS and their
+// intersection with the crawler's BitTorrent sightings and RIPE coverage.
+func ComputeASOverlap(in *Inputs) *ASOverlap {
+	byAS := make(map[int]*ASCounts)
+	for _, a := range in.Collection.AllAddrs().Sorted() {
+		asn, ok := in.ASNOf(a)
+		if !ok {
+			continue
+		}
+		c := byAS[asn]
+		if c == nil {
+			c = &ASCounts{ASN: asn}
+			byAS[asn] = c
+		}
+		c.Blocklisted++
+		if in.BTObserved != nil && in.BTObserved.Contains(a) {
+			c.BT++
+		}
+		if in.RIPEPrefixes != nil && in.RIPEPrefixes.Covers(a) {
+			c.RIPE++
+		}
+	}
+	out := &ASOverlap{}
+	for _, c := range byAS {
+		out.PerAS = append(out.PerAS, *c)
+		out.ASesWithBlocklisted++
+		if c.BT > 0 {
+			out.ASesWithBT++
+		}
+		if c.RIPE > 0 {
+			out.ASesWithRIPE++
+		}
+	}
+	sort.Slice(out.PerAS, func(i, j int) bool {
+		if out.PerAS[i].Blocklisted != out.PerAS[j].Blocklisted {
+			return out.PerAS[i].Blocklisted < out.PerAS[j].Blocklisted
+		}
+		return out.PerAS[i].ASN < out.PerAS[j].ASN
+	})
+	totalBlocked := 0
+	for _, c := range out.PerAS {
+		totalBlocked += c.Blocklisted
+	}
+	n := len(out.PerAS)
+	top10Blocked, top10BT, top10RIPE := 0, 0, 0
+	for i := n - 10; i < n; i++ {
+		if i < 0 {
+			continue
+		}
+		top10Blocked += out.PerAS[i].Blocklisted
+		top10BT += out.PerAS[i].BT
+		top10RIPE += out.PerAS[i].RIPE
+	}
+	out.Top10Share = stats.Fraction(top10Blocked, totalBlocked)
+	out.Top10BTShare = stats.Fraction(top10BT, top10Blocked)
+	out.Top10RIPEShare = stats.Fraction(top10RIPE, top10Blocked)
+	if n > 0 {
+		top := out.PerAS[n-1]
+		out.TopAS = top.ASN
+		out.TopASBlocked = top.Blocklisted
+		out.TopASShare = stats.Fraction(top.Blocklisted, totalBlocked)
+		out.TopASBTShare = stats.Fraction(top.BT, top.Blocklisted)
+		out.TopASRIPEShare = stats.Fraction(top.RIPE, top.Blocklisted)
+	}
+	return out
+}
+
+// Figure3 renders the cumulative per-AS distribution: ASes are ordered by
+// increasing blocklisted-address count; each curve is the cumulative
+// fraction of its own category's addresses, so every curve ends at 1 and
+// plateaus where its coverage runs out.
+func (o *ASOverlap) Figure3() *stats.Figure {
+	f := stats.NewFigure("Figure 3: CDF of blocklisted and reused addresses from each AS",
+		"(#) of ASes", "CDF")
+	total := func(sel func(ASCounts) int) int {
+		t := 0
+		for _, c := range o.PerAS {
+			t += sel(c)
+		}
+		return t
+	}
+	series := func(name string, sel func(ASCounts) int) {
+		tot := total(sel)
+		if tot == 0 {
+			return
+		}
+		var pts []stats.Point
+		cum := 0
+		step := len(o.PerAS)/64 + 1
+		for i, c := range o.PerAS {
+			cum += sel(c)
+			if i%step == 0 || i == len(o.PerAS)-1 {
+				pts = append(pts, stats.Point{X: float64(i + 1), Y: float64(cum) / float64(tot)})
+			}
+		}
+		f.Add(name, pts)
+	}
+	series("blocklisted addresses", func(c ASCounts) int { return c.Blocklisted })
+	series("blocklisted BitTorrent addresses", func(c ASCounts) int { return c.BT })
+	series("blocklisted RIPE addresses", func(c ASCounts) int { return c.RIPE })
+	return f
+}
+
+// Funnel is the Fig 4 accounting on both detection paths.
+type Funnel struct {
+	// BitTorrent path.
+	BTIPs            int // unique BitTorrent IPs crawled
+	NATedIPs         int // confirmed NATed
+	NATedBlocklisted int // NATed ∩ blocklisted
+
+	// RIPE path (address counts at each pipeline stage, intersected with
+	// the blocklisted set, as in the figure).
+	BlocklistedInRIPEPrefixes int
+	SameASBlocklisted         int
+	FrequentBlocklisted       int
+	DailyBlocklisted          int
+}
+
+// RIPEStages carries the address sets of the pipeline stages (from
+// ripeatlas.Result, expanded to prefixes by the caller).
+type RIPEStages struct {
+	SameAS   *iputil.PrefixSet
+	Frequent *iputil.PrefixSet
+	Daily    *iputil.PrefixSet
+}
+
+// ComputeFunnel fills the Fig 4 box numbers.
+func ComputeFunnel(in *Inputs, btIPs int, stages RIPEStages) *Funnel {
+	f := &Funnel{BTIPs: btIPs, NATedIPs: len(in.NATUsers)}
+	blocklisted := in.Collection.AllAddrs()
+	for addr := range in.NATUsers {
+		if blocklisted.Contains(addr) {
+			f.NATedBlocklisted++
+		}
+	}
+	for _, a := range blocklisted.Sorted() {
+		if in.RIPEPrefixes != nil && in.RIPEPrefixes.Covers(a) {
+			f.BlocklistedInRIPEPrefixes++
+		}
+		if stages.SameAS != nil && stages.SameAS.Covers(a) {
+			f.SameASBlocklisted++
+		}
+		if stages.Frequent != nil && stages.Frequent.Covers(a) {
+			f.FrequentBlocklisted++
+		}
+		if stages.Daily != nil && stages.Daily.Covers(a) {
+			f.DailyBlocklisted++
+		}
+	}
+	return f
+}
+
+// Table renders the funnel as a two-column table mirroring Fig 4.
+func (f *Funnel) Table() *stats.Table {
+	t := stats.NewTable("Figure 4: Detecting NATed and dynamic addresses", "Stage", "Count")
+	t.AddRow("BitTorrent IPs", itoa(f.BTIPs))
+	t.AddRow("NATed IPs", itoa(f.NATedIPs))
+	t.AddRow("NATed + blocklisted IPs", itoa(f.NATedBlocklisted))
+	t.AddRow("Blocklisted addresses in RIPE prefixes", itoa(f.BlocklistedInRIPEPrefixes))
+	t.AddRow("... probes with address changes in same AS", itoa(f.SameASBlocklisted))
+	t.AddRow("... probes with frequent address changes", itoa(f.FrequentBlocklisted))
+	t.AddRow("... probes that change address daily", itoa(f.DailyBlocklisted))
+	return t
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// PrecisionRecall scores a detector against ground truth.
+type PrecisionRecall struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64
+	Recall         float64
+}
+
+// Score computes precision/recall given the detected and true sets.
+func Score(detected, truth *iputil.Set) PrecisionRecall {
+	pr := PrecisionRecall{}
+	for _, a := range detected.Sorted() {
+		if truth.Contains(a) {
+			pr.TruePositives++
+		} else {
+			pr.FalsePositives++
+		}
+	}
+	pr.FalseNegatives = truth.Len() - pr.TruePositives
+	if d := pr.TruePositives + pr.FalsePositives; d > 0 {
+		pr.Precision = float64(pr.TruePositives) / float64(d)
+	}
+	if d := pr.TruePositives + pr.FalseNegatives; d > 0 {
+		pr.Recall = float64(pr.TruePositives) / float64(d)
+	}
+	return pr
+}

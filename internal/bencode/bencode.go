@@ -1,0 +1,444 @@
+// Package bencode implements the BitTorrent bencoding format (BEP 3):
+// integers (i...e), byte strings (<len>:<bytes>), lists (l...e) and
+// dictionaries (d...e with lexicographically sorted keys).
+//
+// The package offers both a dynamic API (Encode/Decode on Value) and a
+// reflection-based Marshal/Unmarshal for struct types, which the KRPC layer
+// uses for DHT messages.
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Value is the dynamic representation of a bencoded term:
+//
+//	int64            — integer
+//	string           — byte string
+//	[]Value          — list
+//	map[string]Value — dictionary
+type Value interface{}
+
+// Errors returned by the decoder.
+var (
+	ErrSyntax     = errors.New("bencode: syntax error")
+	ErrTrailing   = errors.New("bencode: trailing data after value")
+	ErrUnsorted   = errors.New("bencode: dictionary keys not sorted")
+	ErrTooDeep    = errors.New("bencode: nesting too deep")
+	maxNestDepth  = 64
+	maxStringSize = 16 << 20
+)
+
+// Encode renders v in canonical bencoding. Supported dynamic types are the
+// Value shapes plus int/uint variants and []byte.
+func Encode(v Value) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeValue(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeValue(buf *bytes.Buffer, v Value) error {
+	switch x := v.(type) {
+	case int64:
+		encodeInt(buf, x)
+	case int:
+		encodeInt(buf, int64(x))
+	case int32:
+		encodeInt(buf, int64(x))
+	case uint32:
+		encodeInt(buf, int64(x))
+	case uint16:
+		encodeInt(buf, int64(x))
+	case string:
+		encodeString(buf, x)
+	case []byte:
+		encodeString(buf, string(x))
+	case []Value:
+		buf.WriteByte('l')
+		for _, e := range x {
+			if err := encodeValue(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	case map[string]Value:
+		buf.WriteByte('d')
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			encodeString(buf, k)
+			if err := encodeValue(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	default:
+		return fmt.Errorf("bencode: cannot encode %T", v)
+	}
+	return nil
+}
+
+func encodeInt(buf *bytes.Buffer, n int64) {
+	buf.WriteByte('i')
+	buf.WriteString(strconv.FormatInt(n, 10))
+	buf.WriteByte('e')
+}
+
+func encodeString(buf *bytes.Buffer, s string) {
+	buf.WriteString(strconv.Itoa(len(s)))
+	buf.WriteByte(':')
+	buf.WriteString(s)
+}
+
+// Decode parses a single bencoded value and requires the input to be fully
+// consumed.
+func Decode(data []byte) (Value, error) {
+	d := decoder{data: data}
+	v, err := d.value(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, ErrTrailing
+	}
+	return v, nil
+}
+
+// DecodePrefix parses a single bencoded value from the front of data and
+// returns it along with the number of bytes consumed.
+func DecodePrefix(data []byte) (Value, int, error) {
+	d := decoder{data: data}
+	v, err := d.value(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.pos, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) value(depth int) (Value, error) {
+	if depth > maxNestDepth {
+		return nil, ErrTooDeep
+	}
+	if d.pos >= len(d.data) {
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrSyntax)
+	}
+	switch c := d.data[d.pos]; {
+	case c == 'i':
+		return d.integer()
+	case c >= '0' && c <= '9':
+		return d.str()
+	case c == 'l':
+		d.pos++
+		var list []Value
+		for {
+			if d.pos >= len(d.data) {
+				return nil, fmt.Errorf("%w: unterminated list", ErrSyntax)
+			}
+			if d.data[d.pos] == 'e' {
+				d.pos++
+				return list, nil
+			}
+			v, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+		}
+	case c == 'd':
+		d.pos++
+		dict := make(map[string]Value)
+		prevKey := ""
+		first := true
+		for {
+			if d.pos >= len(d.data) {
+				return nil, fmt.Errorf("%w: unterminated dict", ErrSyntax)
+			}
+			if d.data[d.pos] == 'e' {
+				d.pos++
+				return dict, nil
+			}
+			kv, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("%w: dict key: %v", ErrSyntax, err)
+			}
+			key := kv.(string)
+			if !first && key <= prevKey {
+				return nil, ErrUnsorted
+			}
+			first, prevKey = false, key
+			v, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			dict[key] = v
+		}
+	default:
+		return nil, fmt.Errorf("%w: unexpected byte %q at %d", ErrSyntax, c, d.pos)
+	}
+}
+
+func (d *decoder) integer() (Value, error) {
+	d.pos++ // 'i'
+	end := bytes.IndexByte(d.data[d.pos:], 'e')
+	if end < 0 {
+		return nil, fmt.Errorf("%w: unterminated integer", ErrSyntax)
+	}
+	tok := string(d.data[d.pos : d.pos+end])
+	if tok == "" || tok == "-" {
+		return nil, fmt.Errorf("%w: empty integer", ErrSyntax)
+	}
+	if tok != "0" && (tok[0] == '0' || (tok[0] == '-' && tok[1] == '0')) {
+		return nil, fmt.Errorf("%w: leading zero in integer %q", ErrSyntax, tok)
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad integer %q", ErrSyntax, tok)
+	}
+	d.pos += end + 1
+	return n, nil
+}
+
+func (d *decoder) str() (Value, error) {
+	colon := bytes.IndexByte(d.data[d.pos:], ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("%w: missing ':' in string length", ErrSyntax)
+	}
+	tok := string(d.data[d.pos : d.pos+colon])
+	if tok == "" || (len(tok) > 1 && tok[0] == '0') {
+		return nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, tok)
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 || n > maxStringSize {
+		return nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, tok)
+	}
+	start := d.pos + colon + 1
+	if start+n > len(d.data) {
+		return nil, fmt.Errorf("%w: string extends past input", ErrSyntax)
+	}
+	d.pos = start + n
+	return string(d.data[start : start+n]), nil
+}
+
+// Marshal encodes a struct (or any supported Go value) to bencoding.
+// Struct fields use the `bencode:"name"` tag; fields tagged "-" and
+// zero-valued fields tagged ",omitempty" are skipped.
+func Marshal(v interface{}) ([]byte, error) {
+	dyn, err := toValue(reflect.ValueOf(v))
+	if err != nil {
+		return nil, err
+	}
+	return Encode(dyn)
+}
+
+func toValue(rv reflect.Value) (Value, error) {
+	switch rv.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if rv.IsNil() {
+			return nil, errors.New("bencode: cannot marshal nil")
+		}
+		return toValue(rv.Elem())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return rv.Int(), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return int64(rv.Uint()), nil
+	case reflect.String:
+		return rv.String(), nil
+	case reflect.Slice:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			return string(rv.Bytes()), nil
+		}
+		list := make([]Value, rv.Len())
+		for i := 0; i < rv.Len(); i++ {
+			ev, err := toValue(rv.Index(i))
+			if err != nil {
+				return nil, err
+			}
+			list[i] = ev
+		}
+		return list, nil
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return nil, errors.New("bencode: map keys must be strings")
+		}
+		dict := make(map[string]Value, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			ev, err := toValue(iter.Value())
+			if err != nil {
+				return nil, err
+			}
+			dict[iter.Key().String()] = ev
+		}
+		return dict, nil
+	case reflect.Struct:
+		dict := make(map[string]Value)
+		t := rv.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name, omitEmpty := fieldName(f)
+			if name == "-" {
+				continue
+			}
+			fv := rv.Field(i)
+			if omitEmpty && fv.IsZero() {
+				continue
+			}
+			ev, err := toValue(fv)
+			if err != nil {
+				return nil, err
+			}
+			dict[name] = ev
+		}
+		return dict, nil
+	default:
+		return nil, fmt.Errorf("bencode: cannot marshal %s", rv.Kind())
+	}
+}
+
+func fieldName(f reflect.StructField) (name string, omitEmpty bool) {
+	tag := f.Tag.Get("bencode")
+	if tag == "" {
+		return f.Name, false
+	}
+	name = tag
+	if comma := bytes.IndexByte([]byte(tag), ','); comma >= 0 {
+		name = tag[:comma]
+		omitEmpty = tag[comma+1:] == "omitempty"
+	}
+	if name == "" {
+		name = f.Name
+	}
+	return name, omitEmpty
+}
+
+// Unmarshal decodes data into the struct (or map/slice/scalar) pointed to by
+// dst. Unknown dictionary keys are ignored; missing keys leave fields at
+// their zero value.
+func Unmarshal(data []byte, dst interface{}) error {
+	v, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return errors.New("bencode: Unmarshal target must be a non-nil pointer")
+	}
+	return fromValue(v, rv.Elem())
+}
+
+func fromValue(v Value, dst reflect.Value) error {
+	switch dst.Kind() {
+	case reflect.Interface:
+		dst.Set(reflect.ValueOf(v))
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("bencode: cannot unmarshal %T into %s", v, dst.Kind())
+		}
+		dst.SetInt(n)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return fmt.Errorf("bencode: cannot unmarshal %T into %s", v, dst.Kind())
+		}
+		dst.SetUint(uint64(n))
+		return nil
+	case reflect.String:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("bencode: cannot unmarshal %T into string", v)
+		}
+		dst.SetString(s)
+		return nil
+	case reflect.Slice:
+		if dst.Type().Elem().Kind() == reflect.Uint8 {
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("bencode: cannot unmarshal %T into []byte", v)
+			}
+			dst.SetBytes([]byte(s))
+			return nil
+		}
+		list, ok := v.([]Value)
+		if !ok {
+			return fmt.Errorf("bencode: cannot unmarshal %T into slice", v)
+		}
+		out := reflect.MakeSlice(dst.Type(), len(list), len(list))
+		for i, e := range list {
+			if err := fromValue(e, out.Index(i)); err != nil {
+				return err
+			}
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Map:
+		dict, ok := v.(map[string]Value)
+		if !ok {
+			return fmt.Errorf("bencode: cannot unmarshal %T into map", v)
+		}
+		if dst.Type().Key().Kind() != reflect.String {
+			return errors.New("bencode: map keys must be strings")
+		}
+		out := reflect.MakeMapWithSize(dst.Type(), len(dict))
+		for k, e := range dict {
+			ev := reflect.New(dst.Type().Elem()).Elem()
+			if err := fromValue(e, ev); err != nil {
+				return err
+			}
+			out.SetMapIndex(reflect.ValueOf(k), ev)
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Struct:
+		dict, ok := v.(map[string]Value)
+		if !ok {
+			return fmt.Errorf("bencode: cannot unmarshal %T into struct", v)
+		}
+		t := dst.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name, _ := fieldName(f)
+			if name == "-" {
+				continue
+			}
+			e, present := dict[name]
+			if !present {
+				continue
+			}
+			if err := fromValue(e, dst.Field(i)); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		return nil
+	case reflect.Ptr:
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return fromValue(v, dst.Elem())
+	default:
+		return fmt.Errorf("bencode: cannot unmarshal into %s", dst.Kind())
+	}
+}

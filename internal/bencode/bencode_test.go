@@ -1,0 +1,286 @@
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodePrimitives(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{int64(42), "i42e"},
+		{int64(-7), "i-7e"},
+		{int64(0), "i0e"},
+		{int(5), "i5e"},
+		{"spam", "4:spam"},
+		{"", "0:"},
+		{[]byte{0x00, 0xff}, "2:\x00\xff"},
+		{[]Value{int64(1), "a"}, "li1e1:ae"},
+		{[]Value(nil), "le"},
+		{map[string]Value{"b": int64(2), "a": int64(1)}, "d1:ai1e1:bi2ee"},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.in, err)
+			continue
+		}
+		if string(got) != c.want {
+			t.Errorf("Encode(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Error("floats must not encode")
+	}
+}
+
+func TestDecodePrimitives(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"i42e", int64(42)},
+		{"i-1e", int64(-1)},
+		{"4:spam", "spam"},
+		{"0:", ""},
+		{"le", []Value(nil)},
+		{"li1e1:ae", []Value{int64(1), "a"}},
+		{"de", map[string]Value{}},
+		{"d1:ai1e1:bi2ee", map[string]Value{"a": int64(1), "b": int64(2)}},
+	}
+	for _, c := range cases {
+		got, err := Decode([]byte(c.in))
+		if err != nil {
+			t.Errorf("Decode(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"", "i", "ie", "i-e", "i01e", "i-0e", "iabce",
+		"5:spam", "-1:x", "01:x", "4spam",
+		"l", "li1e", "d", "d1:a", "d1:ai1e", "dli1eei1ee",
+		"i1ei2e", "x",
+		"d1:bi1e1:ai2ee", // unsorted keys
+		"d1:ai1e1:ai2ee", // duplicate keys
+	}
+	for _, in := range bad {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeDepthLimit(t *testing.T) {
+	deep := bytes.Repeat([]byte("l"), 100)
+	deep = append(deep, bytes.Repeat([]byte("e"), 100)...)
+	if _, err := Decode(deep); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("deep nesting: %v, want ErrTooDeep", err)
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	v, n, err := DecodePrefix([]byte("i7etrailing"))
+	if err != nil || v != int64(7) || n != 3 {
+		t.Errorf("DecodePrefix = %v, %d, %v", v, n, err)
+	}
+}
+
+// genValue builds a random Value of bounded depth for round-trip testing.
+func genValue(rng *rand.Rand, depth int) Value {
+	switch k := rng.Intn(4); {
+	case k == 0 || depth >= 3:
+		return int64(rng.Int63n(1<<40) - 1<<39)
+	case k == 1:
+		b := make([]byte, rng.Intn(20))
+		rng.Read(b)
+		return string(b)
+	case k == 2:
+		n := rng.Intn(4)
+		var list []Value
+		for i := 0; i < n; i++ {
+			list = append(list, genValue(rng, depth+1))
+		}
+		return list
+	default:
+		n := rng.Intn(4)
+		dict := make(map[string]Value)
+		for i := 0; i < n; i++ {
+			key := make([]byte, 1+rng.Intn(8))
+			rng.Read(key)
+			dict[string(key)] = genValue(rng, depth+1)
+		}
+		return dict
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v := genValue(rng, 0)
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if !equalValue(v, back) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", v, back)
+		}
+		// Canonical: re-encoding the decoded value must be identical.
+		enc2, err := Encode(back)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding violated: %q vs %q (%v)", enc, enc2, err)
+		}
+	}
+}
+
+// equalValue compares Values treating nil and empty lists as equal.
+func equalValue(a, b Value) bool {
+	switch x := a.(type) {
+	case []Value:
+		y, ok := b.([]Value)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !equalValue(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]Value:
+		y, ok := b.(map[string]Value)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			if !equalValue(v, y[k]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type krpcLike struct {
+	TxID     string         `bencode:"t"`
+	Type     string         `bencode:"y"`
+	Query    string         `bencode:"q,omitempty"`
+	Args     map[string]int `bencode:"a,omitempty"`
+	Version  string         `bencode:"v,omitempty"`
+	Ignored  string         `bencode:"-"`
+	internal int            //nolint:unused // exercises unexported skipping
+}
+
+func TestMarshalStruct(t *testing.T) {
+	m := krpcLike{TxID: "aa", Type: "q", Query: "ping", Args: map[string]int{"id": 7}, Ignored: "x"}
+	enc, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "d1:ad2:idi7ee1:q4:ping1:t2:aa1:y1:qe"
+	if string(enc) != want {
+		t.Errorf("Marshal = %q, want %q", enc, want)
+	}
+}
+
+func TestMarshalOmitEmpty(t *testing.T) {
+	enc, err := Marshal(krpcLike{TxID: "x", Type: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc, []byte("1:q")) || bytes.Contains(enc, []byte("1:a")) {
+		t.Errorf("omitempty field present: %q", enc)
+	}
+}
+
+func TestUnmarshalStruct(t *testing.T) {
+	var m krpcLike
+	in := "d1:ad2:idi9ee1:q4:ping1:t2:zz7:unknown3:abc1:y1:qe"
+	if err := Unmarshal([]byte(in), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.TxID != "zz" || m.Query != "ping" || m.Args["id"] != 9 {
+		t.Errorf("Unmarshal = %+v", m)
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	var m krpcLike
+	if err := Unmarshal([]byte("d1:ti5e1:y1:qe"), &m); err == nil {
+		t.Error("int into string field should error")
+	}
+	var n int
+	if err := Unmarshal([]byte("3:abc"), &n); err == nil {
+		t.Error("string into int should error")
+	}
+	if err := Unmarshal([]byte("i1e"), nil); err == nil {
+		t.Error("nil target should error")
+	}
+	var notPtr krpcLike
+	if err := Unmarshal([]byte("de"), reflect.ValueOf(notPtr).Interface()); err == nil {
+		t.Error("non-pointer target should error")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	type inner struct {
+		Name string `bencode:"n"`
+		Vals []int  `bencode:"v"`
+	}
+	type outer struct {
+		ID    []byte  `bencode:"id"`
+		Items []inner `bencode:"items"`
+		Count uint16  `bencode:"count"`
+	}
+	in := outer{ID: []byte{1, 2, 3}, Items: []inner{{"a", []int{1}}, {"b", nil}}, Count: 65535}
+	enc, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out outer
+	if err := Unmarshal(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.ID, in.ID) || out.Count != 65535 || len(out.Items) != 2 || out.Items[0].Name != "a" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestUnmarshalNegativeIntoUint(t *testing.T) {
+	var x struct {
+		N uint32 `bencode:"n"`
+	}
+	if err := Unmarshal([]byte("d1:ni-5ee"), &x); err == nil {
+		t.Error("negative into uint should error")
+	}
+}

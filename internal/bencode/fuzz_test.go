@@ -1,0 +1,40 @@
+package bencode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must never panic,
+// and anything it accepts must re-encode canonically and decode again to
+// the same bytes.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"i42e", "4:spam", "le", "de",
+		"d1:ad2:idi7ee1:q4:ping1:t2:aa1:y1:qe",
+		"li1eli2eli3eeee",
+		"d1:a1:b1:c1:de",
+		"i-1e", "0:", "i01e", "1:",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("accepted value failed to encode: %v", err)
+		}
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		enc2, err := Encode(v2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encode not canonical: %q vs %q (%v)", enc, enc2, err)
+		}
+	})
+}

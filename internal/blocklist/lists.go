@@ -1,0 +1,61 @@
+package blocklist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// ParseNATedList reads a NATed-address list: plain addresses, optionally
+// followed by a user count ("addr<TAB>users" or blcrawl -replay's
+// "addr users>=N ports=M" form). Addresses without a count get the minimum
+// bound of 2.
+func ParseNATedList(r io.Reader) (map[iputil.Addr]int, error) {
+	out := map[iputil.Addr]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		addr, err := iputil.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("blocklist: NATed list line %d: %w", line, err)
+		}
+		users := 2
+		if len(fields) > 1 {
+			tok := strings.TrimPrefix(fields[1], "users>=")
+			if n, err := strconv.Atoi(tok); err == nil && n >= 2 {
+				users = n
+			}
+		}
+		out[addr] = users
+	}
+	return out, sc.Err()
+}
+
+// ParsePrefixList reads one CIDR prefix per line ('#' comments allowed) —
+// the bldetect -prefixes-out format.
+func ParsePrefixList(r io.Reader) (*iputil.PrefixSet, error) {
+	out := iputil.NewPrefixSet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := iputil.ParsePrefix(text)
+		if err != nil {
+			return nil, fmt.Errorf("blocklist: prefix list line %d: %w", line, err)
+		}
+		out.Add(p)
+	}
+	return out, sc.Err()
+}

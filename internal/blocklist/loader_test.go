@@ -1,0 +1,71 @@
+package blocklist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry([]Feed{{Name: "nixspam", Type: Spam}, {Name: "greensnow", Type: Bruteforce}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, dir, "nixspam_2019-08-03.txt", "# snap\n192.0.2.1\n192.0.2.2\n")
+	writeFile(t, dir, "nixspam_2019-08-04.txt", "192.0.2.1\n")
+	writeFile(t, dir, "greensnow_2019-08-03.txt", "203.0.113.9\n")
+	writeFile(t, dir, "unknownfeed_2019-08-03.txt", "1.2.3.4\n")
+	writeFile(t, dir, "badname.txt", "1.2.3.4\n")
+	writeFile(t, dir, "nixspam_notadate.txt", "1.2.3.4\n")
+	writeFile(t, dir, "README.md", "ignore me")
+
+	c, skipped, err := LoadSnapshotDir(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 3 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if len(c.Days()) != 2 {
+		t.Fatalf("days = %v", c.Days())
+	}
+	ls := c.Listings()
+	if len(ls) != 3 {
+		t.Fatalf("listings = %+v", ls)
+	}
+	// 192.0.2.1 present both days on nixspam.
+	nix, _ := reg.Index("nixspam")
+	found := false
+	for _, l := range ls {
+		if l.FeedIndex == nix && l.Addr == iputil.MustParseAddr("192.0.2.1") {
+			found = true
+			if l.Days != 2 {
+				t.Errorf("192.0.2.1 days = %d", l.Days)
+			}
+		}
+	}
+	if !found {
+		t.Error("expected listing missing")
+	}
+}
+
+func TestLoadSnapshotDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	reg, _ := NewRegistry([]Feed{{Name: "f"}})
+	if _, _, err := LoadSnapshotDir(dir, reg); err == nil {
+		t.Error("empty dir should error")
+	}
+	if _, _, err := LoadSnapshotDir(filepath.Join(dir, "missing"), reg); err == nil {
+		t.Error("missing dir should error")
+	}
+}

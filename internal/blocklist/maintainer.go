@@ -1,0 +1,34 @@
+package blocklist
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// SplitByReuse partitions a feed's addresses into the hard blocklist and a
+// greylist of reused addresses — Section 6's recommendation to maintainers:
+// "they may identify malicious reused IP addresses in a separate greylist to
+// their customers".
+func SplitByReuse(addrs *iputil.Set, reused func(iputil.Addr) bool) (block, grey *iputil.Set) {
+	block, grey = iputil.NewSet(), iputil.NewSet()
+	for _, a := range addrs.Sorted() {
+		if reused(a) {
+			grey.Add(a)
+		} else {
+			block.Add(a)
+		}
+	}
+	return block, grey
+}
+
+// PublishSplit writes the two lists a reuse-aware maintainer ships: the
+// blocklist proper and the reused-address greylist, both in plain format.
+func PublishSplit(blockW, greyW io.Writer, feedName string, addrs *iputil.Set, reused func(iputil.Addr) bool) error {
+	block, grey := SplitByReuse(addrs, reused)
+	if err := WritePlain(blockW, block, fmt.Sprintf("%s blocklist (%d addresses)", feedName, block.Len())); err != nil {
+		return err
+	}
+	return WritePlain(greyW, grey, fmt.Sprintf("%s greylist: reused addresses (%d)", feedName, grey.Len()))
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/reuseblock/reuseblock/internal/analysis"
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/stats"
+)
+
+// Report carries every reproduced table and figure of the paper plus the
+// extra ground-truth scores the synthetic world makes possible.
+type Report struct {
+	study *Study
+
+	PerList   *analysis.PerListReuse
+	Durations *analysis.Durations
+	NATUsers  *analysis.NATUsers
+	Overlap   *analysis.ASOverlap
+	Funnel    *analysis.Funnel
+
+	// Ground-truth scores (not in the paper — made possible by the
+	// simulator): crawler NAT detection and RIPE fast-pool detection.
+	NATScore  analysis.PrecisionRecall
+	RIPEScore analysis.PrecisionRecall
+
+	// ReusedAddrs is the published artifact: every blocklisted reused
+	// address either technique detected.
+	ReusedAddrs *iputil.Set
+}
+
+func (s *Study) buildReport() *Report {
+	r := &Report{study: s}
+	r.PerList = analysis.ComputePerListReuse(s.Inputs)
+	r.Durations = analysis.ComputeDurations(s.Inputs)
+	r.NATUsers = analysis.ComputeNATUsers(s.Inputs)
+	r.Overlap = analysis.ComputeASOverlap(s.Inputs)
+
+	stages := analysis.RIPEStages{
+		SameAS:   prefixesOf(s.RIPE.SameASAddresses),
+		Frequent: prefixesOf(s.RIPE.FrequentAddresses),
+		Daily:    s.RIPE.DynamicPrefixes,
+	}
+	r.Funnel = analysis.ComputeFunnel(s.Inputs, s.CrawlStats.UniqueIPs, stages)
+
+	// Ground truth scores.
+	detectedNAT := iputil.NewSet()
+	for addr := range s.Inputs.NATUsers {
+		detectedNAT.Add(addr)
+	}
+	trueNAT := iputil.NewSet()
+	for _, n := range s.World.NATs {
+		if n.BTUsers >= 2 {
+			trueNAT.Add(n.Addr)
+		}
+	}
+	r.NATScore = analysis.Score(detectedNAT, trueNAT)
+
+	detectedDyn := iputil.NewSet()
+	for _, p := range s.RIPE.DynamicPrefixes.Sorted() {
+		detectedDyn.Add(p.Base())
+	}
+	trueDyn := iputil.NewSet()
+	for _, p := range s.World.TrueFastDynamic.Sorted() {
+		trueDyn.Add(p.Base())
+	}
+	r.RIPEScore = analysis.Score(detectedDyn, trueDyn)
+
+	// The published reused-address list: blocklisted ∩ (NATed ∪ dynamic).
+	r.ReusedAddrs = iputil.NewSet()
+	for _, a := range s.World.Collection.AllAddrs().Sorted() {
+		if detectedNAT.Contains(a) || s.RIPE.DynamicPrefixes.Covers(a) {
+			r.ReusedAddrs.Add(a)
+		}
+	}
+	return r
+}
+
+func prefixesOf(addrs *iputil.Set) *iputil.PrefixSet {
+	if addrs == nil {
+		return nil
+	}
+	return addrs.Slash24s()
+}
+
+// CrawlStatsTable renders the §4 crawl statistics.
+func (r *Report) CrawlStatsTable() *stats.Table {
+	st := r.study.CrawlStats
+	t := stats.NewTable("Section 4: crawl statistics", "Metric", "Value")
+	t.AddRow("get_nodes sent", fmt.Sprint(st.GetNodesSent))
+	t.AddRow("bt_ping sent", fmt.Sprint(st.PingsSent))
+	t.AddRow("messages sent", fmt.Sprint(st.MessagesSent))
+	t.AddRow("responses received", fmt.Sprint(st.MessagesReceived))
+	t.AddRow("response rate", stats.Percent(st.ResponseRate))
+	t.AddRow("unique BitTorrent IPs", fmt.Sprint(st.UniqueIPs))
+	t.AddRow("unique node IDs", fmt.Sprint(st.UniqueNodeIDs))
+	t.AddRow("NATed IPs", fmt.Sprint(st.NATedIPs))
+	t.AddRow("ping rounds", fmt.Sprint(st.PingRoundsRun))
+	return t
+}
+
+// Table1 renders the operator-survey summary.
+func (r *Report) Table1() *stats.Table {
+	s := r.study.Survey
+	t := stats.NewTable("Table 1: Summary of survey responses", "Question", "Response")
+	t.AddRow("External blocklists", stats.Percent(s.ExternalPct))
+	t.AddRow("Paid-for blocklists", fmt.Sprintf("Avg:%.0f Max:%d", s.PaidAvg, s.PaidMax))
+	t.AddRow("Public blocklists", fmt.Sprintf("Avg:%.0f Max:%d", s.PublicAvg, s.PublicMax))
+	t.AddRow("Directly block IPs", stats.Percent(s.DirectBlockPct))
+	t.AddRow("Threat intelligence system", stats.Percent(s.ThreatIntelPct))
+	t.AddRow("Dynamic addressing*", stats.Percent(s.DynamicPct))
+	t.AddRow("Carrier-grade NATs*", stats.Percent(s.CGNPct))
+	t.AddRow("(*) respondents", fmt.Sprintf("%d of %d", s.ReuseRespondents, s.Respondents))
+	return t
+}
+
+// Table2 renders the maintainer registry.
+func (r *Report) Table2() *stats.Table {
+	t := stats.NewTable("Table 2: blocklists per maintainer", "Maintainer", "# of blocklists")
+	total := 0
+	for _, mc := range r.study.World.Registry.MaintainerCounts() {
+		name := mc.Maintainer
+		if mc.Surveyed {
+			name = "*" + name
+		}
+		t.AddRow(name, fmt.Sprint(mc.Count))
+		total += mc.Count
+	}
+	t.AddRow("Total", fmt.Sprint(total))
+	return t
+}
+
+// Figure2 renders the per-probe allocation curve with the knee threshold.
+func (r *Report) Figure2() *stats.Figure {
+	f := stats.NewFigure("Figure 2: IP addresses allocated to RIPE Atlas probes",
+		"RIPE Atlas probes (ranked)", "(#) of allocated addresses")
+	ranked := stats.RankDescending(r.study.RIPE.AllocationCounts)
+	step := len(ranked)/128 + 1
+	var pts []stats.Point
+	for i := 0; i < len(ranked); i += step {
+		pts = append(pts, stats.Point{X: float64(i + 1), Y: float64(ranked[i])})
+	}
+	f.Add("allocated addresses", pts)
+	f.Add("threshold", []stats.Point{
+		{X: 1, Y: float64(r.study.RIPE.KneeThreshold)},
+		{X: float64(len(ranked)), Y: float64(r.study.RIPE.KneeThreshold)},
+	})
+	return f
+}
+
+// Figure9 renders the operator blocklist-type usage bars.
+func (r *Report) Figure9() *stats.Figure {
+	f := stats.NewFigure("Figure 9: blocklist types used by reuse-affected operators",
+		"(%) of operators", "blocklist type (rank order)")
+	var pts []stats.Point
+	for i, u := range r.study.TypeUsage {
+		pts = append(pts, stats.Point{X: float64(i + 1), Y: u.Percent * 100})
+	}
+	f.Add("type usage", pts)
+	return f
+}
+
+// SummaryTable condenses the paper's headline claims next to the measured
+// values from this run.
+func (r *Report) SummaryTable() *stats.Table {
+	reg := r.study.World.Registry
+	nFeeds := reg.Len()
+	t := stats.NewTable("Headline results: paper vs this run", "Quantity", "Paper", "This run")
+	withNAT := nFeeds - r.PerList.FeedsWithoutNATed
+	withDyn := nFeeds - r.PerList.FeedsWithoutDynamic
+	t.AddRow("blocklists with ≥1 NATed address",
+		"60%", stats.Percent(stats.Fraction(withNAT, nFeeds)))
+	t.AddRow("blocklists with ≥1 dynamic address",
+		"53%", stats.Percent(stats.Fraction(withDyn, nFeeds)))
+	t.AddRow("NATed listings", "45.1K", fmt.Sprint(r.PerList.NATedListings))
+	t.AddRow("dynamic listings", "30.6K", fmt.Sprint(r.PerList.DynamicListings))
+	t.AddRow("dynamic listings (Cai et al. baseline)", "29.8K", fmt.Sprint(r.PerList.CaiDynamicListings))
+	t.AddRow("NATed addresses listed", "29.7K", fmt.Sprint(r.PerList.NATedAddrs))
+	t.AddRow("dynamic addresses listed", "22.7K", fmt.Sprint(r.PerList.DynamicAddrs))
+	t.AddRow("max users behind one blocklisted IP", "78", fmt.Sprint(r.NATUsers.Max))
+	t.AddRow("max days reused address listed", "44", fmt.Sprint(r.Durations.MaxReusedDays))
+	for i, m := range r.Durations.MaxReusedPerWindow {
+		paperBound := "39"
+		if i == 1 {
+			paperBound = "44"
+		}
+		t.AddRow(fmt.Sprintf("  within window %d alone", i+1), "≤"+paperBound, fmt.Sprint(m))
+	}
+	t.AddRow("mean days listed (all)", "9", fmt.Sprintf("%.1f", r.Durations.AllMean))
+	t.AddRow("mean days listed (NATed)", "10", fmt.Sprintf("%.1f", r.Durations.NATedMean))
+	t.AddRow("mean days listed (dynamic)", "3", fmt.Sprintf("%.1f", r.Durations.DynamicMean))
+	t.AddRow("2-day removal (all)", "42%", stats.Percent(r.Durations.AllTwoDay))
+	t.AddRow("2-day removal (NATed)", "60%", stats.Percent(r.Durations.NATedTwoDay))
+	t.AddRow("2-day removal (dynamic)", "77.5%", stats.Percent(r.Durations.DynamicTwoDay))
+	t.AddRow("NATed addrs with exactly 2 users", "68.5%", stats.Percent(r.NATUsers.ExactlyTwo))
+	t.AddRow("NATed addrs with <10 users", "97.8%", stats.Percent(r.NATUsers.UnderTen))
+	t.AddRow("ASes w/ blocklisted addrs having BT", "29.6%",
+		stats.Percent(stats.Fraction(r.Overlap.ASesWithBT, r.Overlap.ASesWithBlocklisted)))
+	t.AddRow("ASes w/ blocklisted addrs having RIPE", "17.1%",
+		stats.Percent(stats.Fraction(r.Overlap.ASesWithRIPE, r.Overlap.ASesWithBlocklisted)))
+	t.AddRow("top-10 lists' share of NATed listings", "65.9%", stats.Percent(r.PerList.Top10NATedShare))
+	t.AddRow("top-10 lists' share of dynamic listings", "72.6%", stats.Percent(r.PerList.Top10DynamicShare))
+	t.AddRow("crawler response rate", "48.6%", stats.Percent(r.study.CrawlStats.ResponseRate))
+	t.AddRow("RIPE knee threshold (Fig 2)", "8", fmt.Sprint(r.study.RIPE.KneeThreshold))
+	return t
+}
+
+// GroundTruthTable reports detector precision/recall against the synthetic
+// world's ground truth (beyond the paper).
+func (r *Report) GroundTruthTable() *stats.Table {
+	t := stats.NewTable("Ground truth scores (simulator only)", "Detector", "Precision", "Recall")
+	t.AddRow("crawler NAT detection (vs BT≥2 gateways)",
+		fmt.Sprintf("%.3f", r.NATScore.Precision), fmt.Sprintf("%.3f", r.NATScore.Recall))
+	t.AddRow("RIPE fast-pool detection (vs daily pools)",
+		fmt.Sprintf("%.3f", r.RIPEScore.Precision), fmt.Sprintf("%.3f", r.RIPEScore.Recall))
+	return t
+}
+
+// WriteReusedList writes the paper's published artifact: the reused-address
+// list in plain blocklist format.
+func (r *Report) WriteReusedList(w io.Writer) error {
+	return blocklist.WritePlain(w, r.ReusedAddrs,
+		"reused (NATed or dynamically allocated) blocklisted IPv4 addresses")
+}
+
+// Render returns the full text report: every table and figure in paper
+// order.
+func (r *Report) Render() string {
+	var b strings.Builder
+	sections := []string{
+		r.CrawlStatsTable().Render(),
+		r.Figure2().Render(),
+		r.Overlap.Figure3().Render(),
+		r.Funnel.Table().Render(),
+		r.PerList.Figure5().Render(),
+		r.PerList.Figure6().Render(),
+		r.Durations.Figure7().Render(),
+		r.NATUsers.Figure8().Render(),
+		r.Table1().Render(),
+		r.Figure9().Render(),
+		r.Table2().Render(),
+		r.SummaryTable().Render(),
+		r.GroundTruthTable().Render(),
+	}
+	for _, s := range sections {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

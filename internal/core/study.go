@@ -1,0 +1,246 @@
+package core
+
+import (
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/analysis"
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/crawler"
+	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/icmpsurvey"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+	"github.com/reuseblock/reuseblock/internal/ripeatlas"
+	"github.com/reuseblock/reuseblock/internal/survey"
+)
+
+// Config tunes a full study run. Zero values pick calibrated defaults.
+type Config struct {
+	Seed int64
+	// World overrides the generated world's parameters; nil uses
+	// blgen.DefaultParams(Seed).
+	World *blgen.Params
+
+	// CrawlDuration is the simulated length of the BitTorrent crawl. The
+	// paper crawled for the full 83 days; detection saturates far sooner,
+	// so the default is 48 hours of simulated time.
+	CrawlDuration time.Duration
+	// Loss is the fabric's datagram loss (default 0.26 — chosen so the
+	// crawler's response rate lands near the paper's 48.6%, which also
+	// reflects NAT filtering and stale entries, not just loss).
+	Loss float64
+	// RestrictScope restricts the crawler to blocklisted /24 space like
+	// the paper (§3.1); default true. Set ScopeAll to crawl everything.
+	ScopeAll bool
+	// RestartsPerDay is the public BitTorrent clients' daily restart rate
+	// (port + node-ID churn — the §3.1 stale-information confound);
+	// negative disables, zero means the default 0.15.
+	RestartsPerDay float64
+	// Vantages is the number of crawler vantage points run in parallel
+	// from different networks — the coverage/burden improvement §3.1
+	// suggests. Default 1 (the paper's setup); results are merged.
+	Vantages int
+
+	// Survey (Cai et al. baseline) settings.
+	SurveyBlockFrac float64       // fraction of world /24s sampled (default 0.5)
+	SurveyDuration  time.Duration // default 14 days
+	SurveyInterval  time.Duration // default 1 hour
+
+	// SkipCrawl / SkipICMP skip the expensive stages (for quick looks at
+	// feed-only statistics); the corresponding results stay empty.
+	SkipCrawl bool
+	SkipICMP  bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.CrawlDuration <= 0 {
+		c.CrawlDuration = 48 * time.Hour
+	}
+	if c.Loss <= 0 {
+		c.Loss = 0.26
+	}
+	if c.SurveyBlockFrac <= 0 {
+		c.SurveyBlockFrac = 0.5
+	}
+	if c.SurveyDuration <= 0 {
+		c.SurveyDuration = 14 * 24 * time.Hour
+	}
+	if c.SurveyInterval <= 0 {
+		c.SurveyInterval = time.Hour
+	}
+	if c.RestartsPerDay == 0 {
+		c.RestartsPerDay = 0.15
+	}
+	if c.RestartsPerDay < 0 {
+		c.RestartsPerDay = 0
+	}
+	if c.Vantages <= 0 {
+		c.Vantages = 1
+	}
+}
+
+// Study is one end-to-end reproduction run.
+type Study struct {
+	Config Config
+	World  *blgen.World
+
+	// Results, populated by Run.
+	CrawlStats crawler.Stats
+	NATed      []crawler.NATObservation
+	BTObserved *iputil.Set
+	RIPE       *ripeatlas.Result
+	Cai        *icmpsurvey.Result
+	Survey     survey.Summary
+	TypeUsage  []survey.TypeUsage
+	Inputs     *analysis.Inputs
+}
+
+// NewStudy generates the world for a study.
+func NewStudy(cfg Config) *Study {
+	cfg.applyDefaults()
+	var wp blgen.Params
+	if cfg.World != nil {
+		wp = *cfg.World
+	} else {
+		wp = blgen.DefaultParams(cfg.Seed)
+	}
+	return &Study{Config: cfg, World: blgen.Generate(wp)}
+}
+
+// NewStudyFromWorld wraps an already-generated world; useful when several
+// studies (different crawl settings, ablations) share one world.
+func NewStudyFromWorld(w *blgen.World, cfg Config) *Study {
+	cfg.applyDefaults()
+	return &Study{Config: cfg, World: w}
+}
+
+// Run executes every stage and returns the full report.
+func (s *Study) Run() (*Report, error) {
+	w := s.World
+
+	// Stage 1: the BitTorrent crawl over the simulated network.
+	natUsers := make(map[iputil.Addr]int)
+	s.BTObserved = iputil.NewSet()
+	if !s.Config.SkipCrawl {
+		scopeSet := w.BlocklistedSpace()
+		var scope func(iputil.Addr) bool
+		if !s.Config.ScopeAll {
+			scope = scopeSet.Covers
+		}
+		swarm, err := BuildSwarm(w, SwarmConfig{
+			Loss:           s.Config.Loss,
+			Seed:           s.Config.Seed,
+			RestartsPerDay: s.Config.RestartsPerDay,
+			ChurnHorizon:   s.Config.CrawlDuration,
+		}, scopeSet.Covers)
+		if err != nil {
+			return nil, err
+		}
+		// One or more crawler vantage points in distinct networks
+		// (198.18.0.0/15 is benchmarking space — our measurement hosts).
+		var crawlers []*crawler.Crawler
+		for v := 0; v < s.Config.Vantages; v++ {
+			sock, err := swarm.Net.Listen(netsim.Endpoint{
+				Addr: iputil.AddrFrom4(198, 18, byte(v), 1), Port: 9999,
+			})
+			if err != nil {
+				return nil, err
+			}
+			crawlers = append(crawlers, crawler.New(sock, dht.SimClock(swarm.Clock), crawler.Config{
+				Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
+				Scope:     scope,
+				Seed:      s.Config.Seed ^ 0x4352574c ^ int64(v)<<32, // "CRWL"
+			}))
+		}
+		// Let NATed users' mappings open before crawling starts.
+		swarm.Clock.RunFor(time.Minute)
+		for _, c := range crawlers {
+			c.Start()
+		}
+		swarm.Clock.RunFor(s.Config.CrawlDuration)
+		var statParts []crawler.Stats
+		var obsParts [][]crawler.NATObservation
+		for _, c := range crawlers {
+			c.Stop()
+			statParts = append(statParts, c.Stats())
+			obsParts = append(obsParts, c.NATed())
+			s.BTObserved.AddSet(c.ObservedIPs())
+		}
+		s.NATed = crawler.MergeObservations(obsParts...)
+		s.CrawlStats = crawler.MergeStats(statParts...)
+		s.CrawlStats.UniqueIPs = s.BTObserved.Len()
+		uniqueIDs := 0
+		for _, p := range statParts {
+			if p.UniqueNodeIDs > uniqueIDs {
+				uniqueIDs = p.UniqueNodeIDs
+			}
+		}
+		s.CrawlStats.UniqueNodeIDs = uniqueIDs
+		s.CrawlStats.NATedIPs = len(s.NATed)
+		for _, o := range s.NATed {
+			natUsers[o.Addr] = o.Users
+		}
+	}
+
+	// Stage 2: the RIPE dynamic-address pipeline over the fleet logs.
+	s.RIPE = ripeatlas.Detect(w.RIPELogs, ripeatlas.DetectOptions{})
+
+	// Stage 3: the Cai et al. ICMP baseline over sampled blocks.
+	if !s.Config.SkipICMP {
+		s.Cai = icmpsurvey.Run(w, icmpsurvey.Config{
+			Blocks:   s.sampleBlocks(),
+			Start:    w.RIPEStart,
+			Duration: s.Config.SurveyDuration,
+			Interval: s.Config.SurveyInterval,
+		})
+	}
+
+	// Stage 4: the operator survey tabulations.
+	responses := survey.StandardResponses(s.Config.Seed)
+	s.Survey = survey.Summarize(responses)
+	s.TypeUsage = survey.TypesAmongAffected(responses)
+
+	// Stage 5: joins.
+	s.Inputs = &analysis.Inputs{
+		Collection:      w.Collection,
+		NATUsers:        natUsers,
+		BTObserved:      s.BTObserved,
+		DynamicPrefixes: s.RIPE.DynamicPrefixes,
+		RIPEPrefixes:    s.RIPE.RIPEPrefixes,
+		ASNOf: func(a iputil.Addr) (int, bool) {
+			pi, ok := w.PrefixOf(a)
+			if !ok {
+				return 0, false
+			}
+			return pi.ASN, true
+		},
+	}
+	if s.Cai != nil {
+		s.Inputs.CaiBlocks = s.Cai.DynamicBlocks
+	}
+	return s.buildReport(), nil
+}
+
+// sampleBlocks picks the ICMP survey's block sample deterministically: every
+// k'th world /24 so the sample spans all prefix kinds.
+func (s *Study) sampleBlocks() []iputil.Prefix {
+	frac := s.Config.SurveyBlockFrac
+	var all []iputil.Prefix
+	for _, a := range s.World.ASes {
+		for _, pi := range a.Prefixes {
+			all = append(all, pi.Prefix)
+		}
+	}
+	if frac >= 1 {
+		return all
+	}
+	step := int(1 / frac)
+	if step < 1 {
+		step = 1
+	}
+	var out []iputil.Prefix
+	for i := 0; i < len(all); i += step {
+		out = append(out, all[i])
+	}
+	return out
+}

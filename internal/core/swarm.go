@@ -1,0 +1,223 @@
+// Package core orchestrates the full reproduction: generate a synthetic
+// world (blgen), instantiate its BitTorrent population as live DHT nodes on
+// the simulated network (netsim/dht), run the paper's crawler against it,
+// run the RIPE dynamic-address pipeline and the Cai et al. ICMP baseline,
+// join everything with the blocklist feeds, and render every table and
+// figure of the paper as a Report.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+// Swarm is the instantiated BitTorrent population.
+type Swarm struct {
+	Clock     *netsim.Clock
+	Net       *netsim.Network
+	Nodes     []*dht.Node
+	Endpoints []netsim.Endpoint // public endpoints known at build time
+	NATs      map[iputil.Addr]*netsim.NAT
+	// Bootstrap is the crawler's entry point (a long-lived public node
+	// inside the blocklisted address space when possible).
+	Bootstrap netsim.Endpoint
+}
+
+// SwarmConfig tunes swarm instantiation.
+type SwarmConfig struct {
+	// Loss, LatencyBase and LatencyJitter shape the simulated fabric.
+	Loss          float64
+	LatencyBase   time.Duration
+	LatencyJitter time.Duration
+	// MeshDegree is how many random neighbours seed each node's table.
+	MeshDegree int
+	// NATMappingTTL and NATKeepalive govern NATed nodes' reachability;
+	// keepalives refresh mappings, at simulation cost.
+	NATMappingTTL time.Duration
+	NATKeepalive  time.Duration
+	// RestartsPerDay is each public user's daily client-restart rate: a
+	// restarted client rebinds on a new port with a regenerated node ID,
+	// producing exactly the multi-port-one-user confound the paper's
+	// bt_ping verification exists to reject (§3.1). Zero disables churn.
+	RestartsPerDay float64
+	// ChurnHorizon bounds how far ahead restarts are scheduled (set it to
+	// the planned crawl duration; default 48 h).
+	ChurnHorizon time.Duration
+	Seed         int64
+}
+
+func (c *SwarmConfig) applyDefaults() {
+	if c.LatencyBase <= 0 {
+		c.LatencyBase = 20 * time.Millisecond
+	}
+	if c.LatencyJitter <= 0 {
+		c.LatencyJitter = 60 * time.Millisecond
+	}
+	if c.MeshDegree <= 0 {
+		c.MeshDegree = 8
+	}
+	if c.NATMappingTTL <= 0 {
+		c.NATMappingTTL = time.Hour
+	}
+	if c.NATKeepalive <= 0 {
+		c.NATKeepalive = 20 * time.Minute
+	}
+}
+
+// BuildSwarm instantiates every BitTorrent user of the world as a live DHT
+// node: public users bind their address directly; NATed users bind behind
+// their gateway's NAT with its ground-truth filtering mode. Tables are
+// seeded with a random mesh so the crawler can traverse the whole swarm.
+func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool) (*Swarm, error) {
+	cfg.applyDefaults()
+	clock := netsim.NewClock()
+	net := netsim.NewNetwork(clock, netsim.Config{
+		Loss:          cfg.Loss,
+		LatencyBase:   cfg.LatencyBase,
+		LatencyJitter: cfg.LatencyJitter,
+		Seed:          cfg.Seed ^ 0x4e455453, // "NETS"
+	})
+	s := &Swarm{Clock: clock, Net: net, NATs: make(map[iputil.Addr]*netsim.NAT)}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5357524d)) // "SWRM"
+
+	for _, u := range w.BTUsers {
+		var sock netsim.Socket
+		var err error
+		if u.BehindNAT {
+			nat := s.NATs[u.PublicAddr]
+			if nat == nil {
+				truth := w.NATByIP[u.PublicAddr]
+				filtering := netsim.FullCone
+				if truth != nil && truth.Restricted {
+					filtering = netsim.AddressRestricted
+				}
+				nat, err = netsim.NewNAT(net, netsim.NATConfig{
+					PublicAddr: u.PublicAddr,
+					Filtering:  filtering,
+					MappingTTL: cfg.NATMappingTTL,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: NAT at %s: %w", u.PublicAddr, err)
+				}
+				s.NATs[u.PublicAddr] = nat
+			}
+			sock, err = nat.Listen(u.PrivateAddr, u.Port)
+		} else {
+			sock, err = net.Listen(netsim.Endpoint{Addr: u.PublicAddr, Port: u.Port})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: user %d: %w", u.ID, err)
+		}
+		nodeCfg := dht.Config{
+			PrivateIP: u.PrivateAddr,
+			IDSeed:    uint64(u.ID),
+			Seed:      int64(u.ID) * 7919,
+			Version:   "RB01",
+		}
+		if u.BehindNAT {
+			nodeCfg.KeepaliveInterval = cfg.NATKeepalive
+		}
+		node := dht.NewNode(sock, dht.SimClock(clock), nodeCfg)
+		s.Nodes = append(s.Nodes, node)
+		s.Endpoints = append(s.Endpoints, netsim.Endpoint{Addr: u.PublicAddr, Port: u.Port})
+	}
+
+	// Mesh: every node learns MeshDegree random public users, so crawls
+	// can reach the entire swarm from any entry point. NATed users'
+	// entries enter tables organically once their mappings open.
+	publicIdx := make([]int, 0, len(w.BTUsers))
+	for i, u := range w.BTUsers {
+		if !u.BehindNAT {
+			publicIdx = append(publicIdx, i)
+		}
+	}
+	if len(publicIdx) == 0 {
+		return nil, fmt.Errorf("core: swarm has no publicly reachable users")
+	}
+	for _, node := range s.Nodes {
+		for d := 0; d < cfg.MeshDegree; d++ {
+			j := publicIdx[rng.Intn(len(publicIdx))]
+			node.AddNode(infoOf(s.Nodes[j], s.Endpoints[j]))
+		}
+	}
+
+	// NATed users open their mappings by pinging a random public user;
+	// keepalives then hold the mapping for the rest of the run.
+	for i, u := range w.BTUsers {
+		if !u.BehindNAT {
+			continue
+		}
+		j := publicIdx[rng.Intn(len(publicIdx))]
+		s.Nodes[i].Ping(s.Endpoints[j], nil)
+	}
+
+	// Client churn: schedule restarts for public users over the horizon.
+	if cfg.RestartsPerDay > 0 {
+		horizon := cfg.ChurnHorizon
+		if horizon <= 0 {
+			horizon = 48 * time.Hour
+		}
+		meanGap := time.Duration(float64(24*time.Hour) / cfg.RestartsPerDay)
+		for _, j := range publicIdx {
+			at := time.Duration(rng.ExpFloat64() * float64(meanGap))
+			for at < horizon {
+				s.scheduleRestart(w, j, at, rng.Int63())
+				at += time.Duration(rng.ExpFloat64() * float64(meanGap))
+			}
+		}
+	}
+
+	// Choose an in-scope bootstrap so a scope-restricted crawler can start.
+	s.Bootstrap = s.Endpoints[publicIdx[0]]
+	if inScope != nil {
+		for _, j := range publicIdx {
+			if inScope(s.Endpoints[j].Addr) {
+				s.Bootstrap = s.Endpoints[j]
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+// scheduleRestart makes user j restart its client at the given offset: the
+// node closes, rebinds on a fresh port, regenerates its node ID (the paper's
+// reboot behaviour), and rejoins via a known neighbour.
+func (s *Swarm) scheduleRestart(w *blgen.World, j int, at time.Duration, seed int64) {
+	s.Clock.After(at, func() {
+		old := s.Nodes[j]
+		oldEp := s.Endpoints[j]
+		neighbours := old.Closest(old.ID(), 4)
+		old.Close()
+		newEp := netsim.Endpoint{Addr: oldEp.Addr, Port: oldEp.Port + 1 + uint16(seed%977)}
+		sock, err := s.Net.Listen(newEp)
+		if err != nil {
+			// Port collision with another binding: skip this restart.
+			return
+		}
+		node := dht.NewNode(sock, dht.SimClock(s.Clock), dht.Config{
+			PrivateIP: newEp.Addr,
+			IDSeed:    uint64(seed), // fresh random part -> fresh node ID
+			Seed:      seed,
+		})
+		for _, info := range neighbours {
+			node.AddNode(info)
+		}
+		if len(neighbours) > 0 {
+			node.Ping(netsim.Endpoint{Addr: neighbours[0].Addr, Port: neighbours[0].Port}, nil)
+		}
+		s.Nodes[j] = node
+		s.Endpoints[j] = newEp
+	})
+}
+
+func infoOf(n *dht.Node, ep netsim.Endpoint) krpc.NodeInfo {
+	return krpc.NodeInfo{ID: n.ID(), Addr: ep.Addr, Port: ep.Port}
+}

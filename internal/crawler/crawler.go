@@ -1,0 +1,571 @@
+// Package crawler implements the paper's BitTorrent NAT-detection crawler
+// (§3.1). The crawler walks the DHT with get_nodes (KRPC find_node)
+// messages, remembers every (IP, port, node_id) it observes, and
+// periodically verifies multi-port IPs with bt_ping (KRPC ping) rounds: an
+// IP answering on two or more ports with two or more distinct node IDs in
+// the same round is simultaneously shared — a NATed reused address — and the
+// number of simultaneously responding ports is a lower bound on the users
+// behind it.
+//
+// Operational behaviour follows the paper: messages are issued in discovery
+// order, an IP is not recontacted for a cool-down period (20 minutes) after
+// a batch of messages, ping rounds run hourly, and crawling can be
+// restricted to a scope (the blocklisted address space) to avoid unnecessary
+// probing.
+package crawler
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+// Config tunes the crawler.
+type Config struct {
+	// ID is the crawler's DHT identity; zero derives one from Seed.
+	ID krpc.NodeID
+	// Bootstrap endpoints seed discovery (the DHT bootstrap node of §3.1).
+	Bootstrap []netsim.Endpoint
+	// Scope restricts probing to addresses for which it returns true; nil
+	// crawls everything. The paper restricts to blocklisted /24 space.
+	Scope func(iputil.Addr) bool
+	// Cooldown is the per-IP recontact interval (paper: 20 minutes).
+	Cooldown time.Duration
+	// PingInterval is the period of bt_ping verification rounds (paper:
+	// hourly).
+	PingInterval time.Duration
+	// PingWindow is how long a round waits before scoring replies.
+	PingWindow time.Duration
+	// SweepInterval is the period of discovery sweeps re-querying known
+	// endpoints for new neighbours.
+	SweepInterval time.Duration
+	// Tick is the pump granularity; BatchPerTick messages are issued per
+	// tick so the crawler is rate-limited as the paper describes.
+	Tick         time.Duration
+	BatchPerTick int
+	// QueryTimeout bounds response waits.
+	QueryTimeout time.Duration
+	// Seed drives the crawler's RNG (lookup targets, transaction IDs).
+	Seed int64
+	// EventLog, when non-nil, receives one line per message sent and
+	// received (the paper's message log); Replay reprocesses such logs
+	// into NAT determinations offline.
+	EventLog io.Writer
+}
+
+func (c *Config) applyDefaults() {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 20 * time.Minute
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = time.Hour
+	}
+	if c.PingWindow <= 0 {
+		c.PingWindow = 30 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = time.Hour
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Second
+	}
+	if c.BatchPerTick <= 0 {
+		c.BatchPerTick = 256
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+}
+
+// Stats mirrors the crawl statistics reported in §4 of the paper.
+type Stats struct {
+	GetNodesSent     int64
+	GetNodesReplies  int64
+	PingsSent        int64
+	PingReplies      int64
+	Timeouts         int64
+	UniqueIPs        int // unique BitTorrent IPs observed
+	UniqueNodeIDs    int // unique node_ids observed
+	NATedIPs         int // IPs confirmed NATed
+	MultiPortIPs     int // IPs that ever showed >1 port
+	ScopeSuppressed  int64
+	ResponseRate     float64 // replies / (pings + get_nodes)
+	SimultaneousMax  int     // largest simultaneous-user lower bound
+	PingRoundsRun    int
+	SweepsRun        int
+	MessagesSent     int64
+	MessagesReceived int64
+}
+
+// NATObservation describes one confirmed NATed address.
+type NATObservation struct {
+	Addr iputil.Addr
+	// Users is the lower bound on simultaneous users: the maximum number
+	// of distinct (port, node_id) pairs that answered one ping round.
+	Users int
+	// FirstConfirmed is when the first positive round completed.
+	FirstConfirmed time.Time
+	// PortsSeen is how many distinct ports were ever observed.
+	PortsSeen int
+}
+
+type portInfo struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	nodeIDs   map[krpc.NodeID]bool
+}
+
+type ipRecord struct {
+	addr         iputil.Addr
+	ports        map[uint16]*portInfo
+	lastContact  time.Time
+	natConfirmed bool
+	firstConfirm time.Time
+	maxUsers     int
+	// roundReplies collects (port -> node ID) during the active ping round.
+	roundReplies map[uint16]krpc.NodeID
+	inRound      bool
+}
+
+type pendingQuery struct {
+	isPing bool
+	to     netsim.Endpoint
+	stop   func() bool
+}
+
+// Crawler is the NAT-detection crawler.
+type Crawler struct {
+	cfg     Config
+	sock    netsim.Socket
+	clock   dht.Clock
+	rng     *rand.Rand
+	id      krpc.NodeID
+	txSeq   uint64
+	pending map[string]*pendingQuery
+	ips     map[iputil.Addr]*ipRecord
+	nodeIDs map[krpc.NodeID]bool
+	queue   []netsim.Endpoint
+	queued  map[netsim.Endpoint]bool
+	stats   Stats
+	running bool
+	stopped bool
+	stops   []func() bool
+}
+
+// New builds a crawler on the given socket.
+func New(sock netsim.Socket, clock dht.Clock, cfg Config) *Crawler {
+	cfg.applyDefaults()
+	id := cfg.ID
+	if id == (krpc.NodeID{}) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(cfg.Seed))
+		id = krpc.GenerateNodeID(iputil.Addr(cfg.Seed), uint64(cfg.Seed))
+	}
+	c := &Crawler{
+		cfg:     cfg,
+		sock:    sock,
+		clock:   clock,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		id:      id,
+		pending: make(map[string]*pendingQuery),
+		ips:     make(map[iputil.Addr]*ipRecord),
+		nodeIDs: make(map[krpc.NodeID]bool),
+		queued:  make(map[netsim.Endpoint]bool),
+	}
+	sock.SetHandler(c.handle)
+	return c
+}
+
+// Start begins crawling: bootstrap targets are enqueued, the pump starts,
+// and sweep and ping-round timers are armed.
+func (c *Crawler) Start() {
+	if c.running || c.stopped {
+		return
+	}
+	c.running = true
+	// Bootstrap burst: UDP makes a single contact attempt flaky, so the
+	// entry points are retried a few times at start-up. Endpoints that
+	// answered are in cool-down by then and the retry is dropped.
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i) * c.cfg.Cooldown
+		stop := c.clock.After(delay, func() {
+			if !c.running {
+				return
+			}
+			for _, ep := range c.cfg.Bootstrap {
+				c.enqueue(ep)
+			}
+		})
+		c.stops = append(c.stops, stop)
+	}
+	c.scheduleTick()
+	c.schedulePingRound()
+	c.scheduleSweep()
+}
+
+// Stop halts all crawler activity; observations remain queryable.
+func (c *Crawler) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.running = false
+	for _, stop := range c.stops {
+		stop()
+	}
+	c.stops = nil
+	for _, p := range c.pending {
+		p.stop()
+	}
+	c.pending = make(map[string]*pendingQuery)
+}
+
+// Stats returns a snapshot of crawl statistics.
+func (c *Crawler) Stats() Stats {
+	s := c.stats
+	s.UniqueIPs = len(c.ips)
+	s.UniqueNodeIDs = len(c.nodeIDs)
+	nated, multi, maxUsers := 0, 0, 0
+	for _, rec := range c.ips {
+		if rec.natConfirmed {
+			nated++
+			if rec.maxUsers > maxUsers {
+				maxUsers = rec.maxUsers
+			}
+		}
+		if len(rec.ports) > 1 {
+			multi++
+		}
+	}
+	s.NATedIPs, s.MultiPortIPs, s.SimultaneousMax = nated, multi, maxUsers
+	s.MessagesSent = s.GetNodesSent + s.PingsSent
+	s.MessagesReceived = s.GetNodesReplies + s.PingReplies
+	if s.MessagesSent > 0 {
+		s.ResponseRate = float64(s.MessagesReceived) / float64(s.MessagesSent)
+	}
+	return s
+}
+
+// NATed returns all confirmed NATed addresses sorted by address.
+func (c *Crawler) NATed() []NATObservation {
+	var out []NATObservation
+	for _, rec := range c.ips {
+		if rec.natConfirmed {
+			out = append(out, NATObservation{
+				Addr:           rec.addr,
+				Users:          rec.maxUsers,
+				FirstConfirmed: rec.firstConfirm,
+				PortsSeen:      len(rec.ports),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ObservedIPs returns every BitTorrent IP the crawler has seen.
+func (c *Crawler) ObservedIPs() *iputil.Set {
+	s := iputil.NewSet()
+	for a := range c.ips {
+		s.Add(a)
+	}
+	return s
+}
+
+// MultiPortAddrs returns every IP that ever showed more than one port —
+// the naive NAT signal before bt_ping verification. Comparing it with
+// NATed() quantifies how many would-be false positives (port changes,
+// stale entries) the paper's verification rule removes.
+func (c *Crawler) MultiPortAddrs() *iputil.Set {
+	s := iputil.NewSet()
+	for a, rec := range c.ips {
+		if len(rec.ports) > 1 {
+			s.Add(a)
+		}
+	}
+	return s
+}
+
+func (c *Crawler) inScope(a iputil.Addr) bool {
+	return c.cfg.Scope == nil || c.cfg.Scope(a)
+}
+
+func (c *Crawler) enqueue(ep netsim.Endpoint) {
+	if c.queued[ep] {
+		return
+	}
+	if !c.inScope(ep.Addr) {
+		c.stats.ScopeSuppressed++
+		return
+	}
+	c.queued[ep] = true
+	c.queue = append(c.queue, ep)
+}
+
+func (c *Crawler) scheduleTick() {
+	stop := c.clock.After(c.cfg.Tick, func() {
+		if !c.running {
+			return
+		}
+		c.pump()
+		c.scheduleTick()
+	})
+	c.stops = append(c.stops, stop)
+}
+
+func (c *Crawler) scheduleSweep() {
+	stop := c.clock.After(c.cfg.SweepInterval, func() {
+		if !c.running {
+			return
+		}
+		c.sweep()
+		c.scheduleSweep()
+	})
+	c.stops = append(c.stops, stop)
+}
+
+func (c *Crawler) schedulePingRound() {
+	stop := c.clock.After(c.cfg.PingInterval, func() {
+		if !c.running {
+			return
+		}
+		c.pingRound()
+		c.schedulePingRound()
+	})
+	c.stops = append(c.stops, stop)
+}
+
+// pump issues up to BatchPerTick get_nodes messages from the front of the
+// discovery queue, honouring the per-IP cool-down. Endpoints whose IP is in
+// cool-down are dropped from the queue (not rotated — that would make idle
+// ticks quadratic); the next sweep re-enqueues every known endpoint anyway.
+func (c *Crawler) pump() {
+	now := c.clock.Now()
+	sent := 0
+	for len(c.queue) > 0 && sent < c.cfg.BatchPerTick {
+		ep := c.queue[0]
+		c.queue = c.queue[1:]
+		delete(c.queued, ep)
+		rec := c.ips[ep.Addr]
+		if rec != nil && now.Sub(rec.lastContact) < c.cfg.Cooldown {
+			continue
+		}
+		if rec != nil {
+			rec.lastContact = now
+		}
+		var target krpc.NodeID
+		c.rng.Read(target[:])
+		c.sendQuery(ep, krpc.NewFindNode(c.newTx(), c.id, target), false)
+		sent++
+	}
+}
+
+// sweep re-enqueues every known endpoint so ongoing crawling discovers new
+// ports and users.
+func (c *Crawler) sweep() {
+	c.stats.SweepsRun++
+	for _, ep := range c.cfg.Bootstrap {
+		c.enqueue(ep)
+	}
+	type key struct {
+		a iputil.Addr
+		p uint16
+	}
+	var all []key
+	for addr, rec := range c.ips {
+		for port := range rec.ports {
+			all = append(all, key{addr, port})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].a != all[j].a {
+			return all[i].a < all[j].a
+		}
+		return all[i].p < all[j].p
+	})
+	for _, k := range all {
+		c.enqueue(netsim.Endpoint{Addr: k.a, Port: k.p})
+	}
+}
+
+// pingRound sends bt_ping to every discovered port of every multi-port IP
+// and scores replies after PingWindow.
+func (c *Crawler) pingRound() {
+	c.stats.PingRoundsRun++
+	now := c.clock.Now()
+	var candidates []*ipRecord
+	for _, rec := range c.ips {
+		if len(rec.ports) < 2 || !c.inScope(rec.addr) {
+			continue
+		}
+		candidates = append(candidates, rec)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].addr < candidates[j].addr })
+	for _, rec := range candidates {
+		rec.inRound = true
+		rec.roundReplies = make(map[uint16]krpc.NodeID)
+		rec.lastContact = now
+		ports := make([]int, 0, len(rec.ports))
+		for p := range rec.ports {
+			ports = append(ports, int(p))
+		}
+		sort.Ints(ports)
+		for _, p := range ports {
+			c.sendQuery(netsim.Endpoint{Addr: rec.addr, Port: uint16(p)}, krpc.NewPing(c.newTx(), c.id), true)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	stop := c.clock.After(c.cfg.PingWindow, func() {
+		c.scoreRound(candidates)
+	})
+	c.stops = append(c.stops, stop)
+}
+
+// scoreRound applies the paper's rule: an IP is NATed when at least two
+// distinct ports replied with at least two distinct node IDs in one round.
+func (c *Crawler) scoreRound(candidates []*ipRecord) {
+	now := c.clock.Now()
+	for _, rec := range candidates {
+		if !rec.inRound {
+			continue
+		}
+		rec.inRound = false
+		distinctIDs := make(map[krpc.NodeID]bool)
+		respondingPorts := 0
+		for _, id := range rec.roundReplies {
+			respondingPorts++
+			distinctIDs[id] = true
+		}
+		// Simultaneous users is bounded below by distinct (port, id)
+		// pairs with distinct IDs.
+		users := len(distinctIDs)
+		if respondingPorts < users {
+			users = respondingPorts
+		}
+		if respondingPorts >= 2 && len(distinctIDs) >= 2 {
+			if !rec.natConfirmed {
+				rec.natConfirmed = true
+				rec.firstConfirm = now
+			}
+			if users > rec.maxUsers {
+				rec.maxUsers = users
+			}
+		}
+		rec.roundReplies = nil
+	}
+}
+
+func (c *Crawler) sendQuery(to netsim.Endpoint, msg *krpc.Message, isPing bool) {
+	data, err := msg.Marshal()
+	if err != nil {
+		return
+	}
+	tx := msg.TxID
+	stop := c.clock.After(c.cfg.QueryTimeout, func() {
+		if _, ok := c.pending[tx]; ok {
+			delete(c.pending, tx)
+			c.stats.Timeouts++
+		}
+	})
+	c.pending[tx] = &pendingQuery{isPing: isPing, to: to, stop: stop}
+	if isPing {
+		c.stats.PingsSent++
+		c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvPingTx, Addr: to.Addr, Port: to.Port})
+	} else {
+		c.stats.GetNodesSent++
+		c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvGetNodesTx, Addr: to.Addr, Port: to.Port})
+	}
+	c.sock.Send(to, data)
+}
+
+func (c *Crawler) logEvent(ev LogEvent) {
+	if c.cfg.EventLog == nil {
+		return
+	}
+	_ = writeEvent(c.cfg.EventLog, ev)
+}
+
+// handle processes crawler responses.
+func (c *Crawler) handle(from netsim.Endpoint, payload []byte) {
+	if c.stopped {
+		return
+	}
+	m, err := krpc.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case krpc.KindResponse:
+		p, ok := c.pending[m.TxID]
+		if !ok {
+			return
+		}
+		delete(c.pending, m.TxID)
+		p.stop()
+		// Responses can legitimately come from a different port than the
+		// one probed (NAT rewriting); record what we actually saw.
+		c.observe(from, m.ID, c.clock.Now())
+		if p.isPing {
+			c.stats.PingReplies++
+			c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvPingRx, Addr: from.Addr, Port: from.Port, NodeID: m.ID, HasID: true})
+			rec := c.ips[from.Addr]
+			if rec != nil && rec.inRound {
+				rec.roundReplies[from.Port] = m.ID
+			}
+		} else {
+			c.stats.GetNodesReplies++
+			c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvGetNodesRx, Addr: from.Addr, Port: from.Port, NodeID: m.ID, HasID: true})
+			for _, info := range m.Nodes {
+				c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvObserve, Addr: info.Addr, Port: info.Port, NodeID: info.ID, HasID: true})
+				c.observe(netsim.Endpoint{Addr: info.Addr, Port: info.Port}, info.ID, c.clock.Now())
+				c.enqueue(netsim.Endpoint{Addr: info.Addr, Port: info.Port})
+			}
+		}
+	case krpc.KindQuery:
+		// The crawler is a passive DHT citizen: it answers pings so it is
+		// not evicted from peers' tables, but returns no neighbours.
+		if m.Method == krpc.MethodPing {
+			resp := krpc.NewPingResponse(m.TxID, c.id, "")
+			if data, err := resp.Marshal(); err == nil {
+				c.sock.Send(from, data)
+			}
+		}
+	}
+}
+
+// observe records an (endpoint, node ID) sighting.
+func (c *Crawler) observe(ep netsim.Endpoint, id krpc.NodeID, now time.Time) {
+	if !c.inScope(ep.Addr) {
+		c.stats.ScopeSuppressed++
+		return
+	}
+	c.nodeIDs[id] = true
+	rec := c.ips[ep.Addr]
+	if rec == nil {
+		rec = &ipRecord{addr: ep.Addr, ports: make(map[uint16]*portInfo)}
+		c.ips[ep.Addr] = rec
+	}
+	pi := rec.ports[ep.Port]
+	if pi == nil {
+		pi = &portInfo{firstSeen: now, nodeIDs: make(map[krpc.NodeID]bool)}
+		rec.ports[ep.Port] = pi
+	}
+	pi.lastSeen = now
+	pi.nodeIDs[id] = true
+}
+
+func (c *Crawler) newTx() string {
+	c.txSeq++
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], c.txSeq)
+	return string(b[:])
+}

@@ -1,0 +1,34 @@
+package crawler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLog: arbitrary text must never panic the log parser, and
+// anything it accepts must round-trip through writeEvent.
+func FuzzParseLog(f *testing.F) {
+	f.Add("2019-01-01T00:00:00Z ping-tx 10.0.0.1 6881 -\n")
+	f.Add("# comment\n\n2019-01-01T00:00:00Z ping-rx 10.0.0.1 6881 " + strings.Repeat("ab", 20) + "\n")
+	f.Add("garbage line\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		events, err := ParseLog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		for _, ev := range events {
+			if werr := writeEvent(&buf, ev); werr != nil {
+				t.Fatalf("writeEvent: %v", werr)
+			}
+		}
+		back, err := ParseLog(&buf)
+		if err != nil {
+			t.Fatalf("rewritten log failed to parse: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip lost events: %d -> %d", len(events), len(back))
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+)
+
+// The paper's crawler "logs all the messages (bt_ping or get_nodes) sent and
+// all the messages received with the timestamps, which are then processed to
+// determine NATed addresses" (§3.1). This file implements that log format
+// and the offline post-processor, so NAT determination can be reproduced
+// from a message log alone.
+
+// EventKind tags a message-log line.
+type EventKind string
+
+// Log event kinds.
+const (
+	EvPingTx     EventKind = "ping-tx"
+	EvGetNodesTx EventKind = "getnodes-tx"
+	EvPingRx     EventKind = "ping-rx"     // response to a bt_ping
+	EvGetNodesRx EventKind = "getnodes-rx" // response to a get_nodes
+	EvObserve    EventKind = "observe"     // (IP, port, id) learned from a neighbour list
+)
+
+// LogEvent is one parsed message-log line.
+type LogEvent struct {
+	At   time.Time
+	Kind EventKind
+	Addr iputil.Addr
+	Port uint16
+	// NodeID is set on rx/observe events.
+	NodeID krpc.NodeID
+	HasID  bool
+}
+
+// writeEvent appends one line: RFC3339Nano, kind, addr, port, node ID (hex
+// or "-").
+func writeEvent(w io.Writer, ev LogEvent) error {
+	id := "-"
+	if ev.HasID {
+		id = hex.EncodeToString(ev.NodeID[:])
+	}
+	_, err := fmt.Fprintf(w, "%s %s %s %d %s\n",
+		ev.At.UTC().Format(time.RFC3339Nano), ev.Kind, ev.Addr, ev.Port, id)
+	return err
+}
+
+// ParseLog reads a crawler message log.
+func ParseLog(r io.Reader) ([]LogEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []LogEvent
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("crawler: log line %d: want 5 fields, got %d", line, len(fields))
+		}
+		at, err := time.Parse(time.RFC3339Nano, fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("crawler: log line %d: %w", line, err)
+		}
+		addr, err := iputil.ParseAddr(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("crawler: log line %d: %w", line, err)
+		}
+		port, err := strconv.ParseUint(fields[3], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: log line %d: bad port: %w", line, err)
+		}
+		ev := LogEvent{At: at, Kind: EventKind(fields[1]), Addr: addr, Port: uint16(port)}
+		if fields[4] != "-" {
+			raw, err := hex.DecodeString(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("crawler: log line %d: bad node ID: %w", line, err)
+			}
+			id, err := krpc.NodeIDFromBytes(raw)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: log line %d: %w", line, err)
+			}
+			ev.NodeID, ev.HasID = id, true
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay post-processes a message log with the paper's rule: within each
+// ping window, an IP answering from at least two distinct ports with at
+// least two distinct node IDs is NATed; the per-window maximum of distinct
+// responding (port, ID) pairs lower-bounds its simultaneous users.
+func Replay(events []LogEvent, window time.Duration) []NATObservation {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	sorted := make([]LogEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+
+	type reply struct {
+		at   time.Time
+		port uint16
+		id   krpc.NodeID
+	}
+	replies := make(map[iputil.Addr][]reply)
+	portsSeen := make(map[iputil.Addr]map[uint16]bool)
+	for _, ev := range sorted {
+		switch ev.Kind {
+		case EvPingRx:
+			if ev.HasID {
+				replies[ev.Addr] = append(replies[ev.Addr], reply{ev.At, ev.Port, ev.NodeID})
+			}
+			fallthrough
+		case EvGetNodesRx, EvObserve, EvPingTx, EvGetNodesTx:
+			ps := portsSeen[ev.Addr]
+			if ps == nil {
+				ps = make(map[uint16]bool)
+				portsSeen[ev.Addr] = ps
+			}
+			ps[ev.Port] = true
+		}
+	}
+
+	var out []NATObservation
+	for addr, rs := range replies {
+		best := 0
+		var firstConfirm time.Time
+		// Slide a window over this address's ping replies.
+		for i := range rs {
+			end := rs[i].at.Add(window)
+			ports := map[uint16]bool{}
+			ids := map[krpc.NodeID]bool{}
+			for j := i; j < len(rs) && !rs[j].at.After(end); j++ {
+				ports[rs[j].port] = true
+				ids[rs[j].id] = true
+			}
+			users := len(ids)
+			if len(ports) < users {
+				users = len(ports)
+			}
+			if len(ports) >= 2 && len(ids) >= 2 {
+				if best == 0 || users > best {
+					if best == 0 {
+						firstConfirm = end
+					}
+					if users > best {
+						best = users
+					}
+				}
+			}
+		}
+		if best >= 2 {
+			out = append(out, NATObservation{
+				Addr:           addr,
+				Users:          best,
+				FirstConfirmed: firstConfirm,
+				PortsSeen:      len(portsSeen[addr]),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

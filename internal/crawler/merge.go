@@ -1,0 +1,71 @@
+package crawler
+
+import (
+	"sort"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// The paper notes its single-vantage crawler concentrated all reply traffic
+// on one network and suggests "having the crawler at multiple vantage
+// points in different networks" (§3.1). This file merges the results of
+// several crawler instances into one view.
+
+// MergeObservations unions NAT observations from multiple vantage points:
+// an address is NATed if any vantage confirmed it; the user lower bound is
+// the maximum any vantage established (each is a valid lower bound); ports
+// seen and the earliest confirmation are combined.
+func MergeObservations(groups ...[]NATObservation) []NATObservation {
+	byAddr := make(map[iputil.Addr]NATObservation)
+	for _, group := range groups {
+		for _, o := range group {
+			cur, ok := byAddr[o.Addr]
+			if !ok {
+				byAddr[o.Addr] = o
+				continue
+			}
+			if o.Users > cur.Users {
+				cur.Users = o.Users
+			}
+			if o.PortsSeen > cur.PortsSeen {
+				cur.PortsSeen = o.PortsSeen
+			}
+			if o.FirstConfirmed.Before(cur.FirstConfirmed) {
+				cur.FirstConfirmed = o.FirstConfirmed
+			}
+			byAddr[o.Addr] = cur
+		}
+	}
+	out := make([]NATObservation, 0, len(byAddr))
+	for _, o := range byAddr {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// MergeStats combines per-vantage crawl statistics: counters add up, unique
+// counts take the union sizes supplied by the caller (pass the merged sets'
+// sizes), and the response rate is recomputed over the combined traffic.
+func MergeStats(stats ...Stats) Stats {
+	var out Stats
+	for _, s := range stats {
+		out.GetNodesSent += s.GetNodesSent
+		out.GetNodesReplies += s.GetNodesReplies
+		out.PingsSent += s.PingsSent
+		out.PingReplies += s.PingReplies
+		out.Timeouts += s.Timeouts
+		out.ScopeSuppressed += s.ScopeSuppressed
+		out.PingRoundsRun += s.PingRoundsRun
+		out.SweepsRun += s.SweepsRun
+		if s.SimultaneousMax > out.SimultaneousMax {
+			out.SimultaneousMax = s.SimultaneousMax
+		}
+	}
+	out.MessagesSent = out.GetNodesSent + out.PingsSent
+	out.MessagesReceived = out.GetNodesReplies + out.PingReplies
+	if out.MessagesSent > 0 {
+		out.ResponseRate = float64(out.MessagesReceived) / float64(out.MessagesSent)
+	}
+	return out
+}

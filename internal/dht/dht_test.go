@@ -1,0 +1,504 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+type simWorld struct {
+	clock *netsim.Clock
+	net   *netsim.Network
+}
+
+func newSimWorld(t *testing.T) *simWorld {
+	t.Helper()
+	clock := netsim.NewClock()
+	return &simWorld{
+		clock: clock,
+		net:   netsim.NewNetwork(clock, netsim.Config{LatencyBase: 5 * time.Millisecond, Seed: 1}),
+	}
+}
+
+func (w *simWorld) newNode(t *testing.T, addr string, port uint16, seed int64) *Node {
+	t.Helper()
+	sock, err := w.net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr(addr), Port: port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewNode(sock, SimClock(w.clock), Config{
+		PrivateIP: iputil.MustParseAddr(addr),
+		IDSeed:    uint64(seed),
+		Seed:      seed,
+		Version:   "RB01",
+	})
+}
+
+func endpointOf(n *Node) netsim.Endpoint {
+	ep, _ := n.sock.PublicEndpoint()
+	return ep
+}
+
+func TestPingPong(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	b := w.newNode(t, "10.0.0.2", 6881, 2)
+	var got *krpc.Message
+	a.Ping(endpointOf(b), func(m *krpc.Message, err error) {
+		if err != nil {
+			t.Errorf("ping error: %v", err)
+		}
+		got = m
+	})
+	w.clock.Drain(0)
+	if got == nil || got.ID != b.ID() {
+		t.Fatalf("pong = %+v", got)
+	}
+	if got.Version != "RB01" {
+		t.Errorf("version = %q", got.Version)
+	}
+	// b learned a from the query.
+	if b.TableSize() != 1 {
+		t.Errorf("b table = %d", b.TableSize())
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	var gotErr error
+	called := false
+	a.Ping(netsim.Endpoint{Addr: iputil.MustParseAddr("10.9.9.9"), Port: 1}, func(m *krpc.Message, err error) {
+		called, gotErr = true, err
+	})
+	w.clock.Drain(0)
+	if !called || gotErr != ErrTimeout {
+		t.Fatalf("timeout callback: called=%v err=%v", called, gotErr)
+	}
+	if a.Stats().Timeouts != 1 {
+		t.Errorf("Timeouts = %d", a.Stats().Timeouts)
+	}
+}
+
+func TestFindNodeReturnsClosest(t *testing.T) {
+	w := newSimWorld(t)
+	server := w.newNode(t, "10.0.0.1", 6881, 1)
+	// Seed the server's table with 20 nodes.
+	for i := 0; i < 20; i++ {
+		var id krpc.NodeID
+		id[0] = byte(i + 1)
+		server.AddNode(krpc.NodeInfo{ID: id, Addr: iputil.AddrFrom4(10, 0, 1, byte(i+1)), Port: 6881})
+	}
+	client := w.newNode(t, "10.0.0.2", 6881, 2)
+	var got []krpc.NodeInfo
+	client.FindNode(endpointOf(server), krpc.NodeID{}, func(m *krpc.Message, err error) {
+		if err != nil {
+			t.Errorf("find_node: %v", err)
+			return
+		}
+		got = m.Nodes
+	})
+	w.clock.Drain(0)
+	if len(got) != BucketSize {
+		t.Fatalf("got %d nodes, want %d", len(got), BucketSize)
+	}
+	// Responses must be the XOR-closest to the zero target: ids 1..8.
+	for _, info := range got {
+		if info.ID[0] > BucketSize {
+			t.Errorf("node %v is not among the closest", info.ID[0])
+		}
+	}
+}
+
+func TestBootstrapPopulatesTable(t *testing.T) {
+	w := newSimWorld(t)
+	// A small pre-connected swarm.
+	var nodes []*Node
+	for i := 0; i < 12; i++ {
+		n := w.newNode(t, "10.0.1."+itoa(i+1), 6881, int64(i+10))
+		nodes = append(nodes, n)
+	}
+	// Chain their tables so lookups can traverse.
+	for i, n := range nodes {
+		for j := 0; j < 4; j++ {
+			k := (i + j + 1) % len(nodes)
+			n.AddNode(krpc.NodeInfo{ID: nodes[k].ID(), Addr: endpointOf(nodes[k]).Addr, Port: endpointOf(nodes[k]).Port})
+		}
+	}
+	newcomer := w.newNode(t, "10.0.2.1", 6881, 99)
+	learnedReported := -1
+	newcomer.Bootstrap(endpointOf(nodes[0]), func(learned int) { learnedReported = learned })
+	w.clock.Drain(0)
+	if newcomer.TableSize() < 8 {
+		t.Errorf("bootstrap learned only %d nodes", newcomer.TableSize())
+	}
+	if learnedReported < newcomer.TableSize() {
+		t.Errorf("reported %d < table %d", learnedReported, newcomer.TableSize())
+	}
+}
+
+func TestKeepaliveRefreshesNATMapping(t *testing.T) {
+	w := newSimWorld(t)
+	nat, err := netsim.NewNAT(w.net, netsim.NATConfig{
+		PublicAddr: iputil.MustParseAddr("100.64.0.1"),
+		MappingTTL: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := nat.Listen(iputil.MustParseAddr("192.168.0.5"), 6881)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natted := NewNode(inner, SimClock(w.clock), Config{
+		PrivateIP:         iputil.MustParseAddr("192.168.0.5"),
+		IDSeed:            5,
+		Seed:              5,
+		KeepaliveInterval: 4 * time.Minute,
+	})
+	peer := w.newNode(t, "10.0.0.1", 6881, 1)
+	// The NATed node pings out once to open its mapping and learn the peer.
+	natted.Ping(endpointOf(peer), nil)
+	w.clock.RunFor(time.Second)
+	pub1, ok := inner.PublicEndpoint()
+	if !ok {
+		t.Fatal("no mapping after outbound ping")
+	}
+	// An hour later the keepalives must have held the same mapping open.
+	w.clock.RunFor(time.Hour)
+	pub2, ok := inner.PublicEndpoint()
+	if !ok || pub1 != pub2 {
+		t.Errorf("mapping lost or changed: %v -> %v (ok=%v)", pub1, pub2, ok)
+	}
+}
+
+func TestCloseCancelsPending(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	called := false
+	a.Ping(netsim.Endpoint{Addr: iputil.MustParseAddr("10.9.9.9"), Port: 1}, func(*krpc.Message, error) { called = true })
+	a.Close()
+	w.clock.Drain(0)
+	if called {
+		t.Error("pending callback fired after Close")
+	}
+	a.Close() // idempotent
+}
+
+func TestNodeIgnoresGarbage(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	raw, _ := w.net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr("10.0.0.2"), Port: 9})
+	raw.SetHandler(func(netsim.Endpoint, []byte) {})
+	raw.Send(endpointOf(a), []byte("not bencode"))
+	w.clock.Drain(0)
+	if a.Stats().QueriesReceived != 0 {
+		t.Error("garbage counted as query")
+	}
+}
+
+func TestUnknownMethodGetsError(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	raw, _ := w.net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr("10.0.0.2"), Port: 9})
+	var resp *krpc.Message
+	raw.SetHandler(func(_ netsim.Endpoint, p []byte) {
+		m, err := krpc.Unmarshal(p)
+		if err == nil {
+			resp = m
+		}
+	})
+	// A hand-encoded query with an unknown method (Marshal would refuse it).
+	var id krpc.NodeID
+	data := []byte("d1:ad2:id20:" + string(id[:]) + "e1:q6:frobml1:t2:zz1:y1:qe")
+	if _, err := krpc.Unmarshal(data); err != nil {
+		t.Fatalf("test datagram malformed: %v", err)
+	}
+	raw.Send(endpointOf(a), data)
+	w.clock.Drain(0)
+	if resp == nil || resp.Kind != krpc.KindError || resp.ErrCode != krpc.ErrCodeMethodUnknown {
+		t.Fatalf("resp = %+v, want method-unknown error", resp)
+	}
+}
+
+func TestAnnounceWithBadTokenRejected(t *testing.T) {
+	w := newSimWorld(t)
+	a := w.newNode(t, "10.0.0.1", 6881, 1)
+	b := w.newNode(t, "10.0.0.2", 6881, 2)
+	var infoHash krpc.NodeID
+	infoHash[0] = 0xaa
+	var resp *krpc.Message
+	b.Announce(endpointOf(a), infoHash, 6881, "forged-token", func(m *krpc.Message, err error) {
+		if err != nil {
+			t.Errorf("announce: %v", err)
+		}
+		resp = m
+	})
+	w.clock.Drain(0)
+	if resp == nil || resp.Kind != krpc.KindError || resp.ErrCode != krpc.ErrCodeProtocol {
+		t.Fatalf("resp = %+v, want bad-token error", resp)
+	}
+	if len(a.StoredPeers(infoHash)) != 0 {
+		t.Error("forged announce stored a peer")
+	}
+}
+
+func TestGetPeersAnnounceRoundTrip(t *testing.T) {
+	w := newSimWorld(t)
+	tracker := w.newNode(t, "10.0.0.1", 6881, 1)
+	seeder := w.newNode(t, "10.0.0.2", 51413, 2)
+	leecher := w.newNode(t, "10.0.0.3", 6881, 3)
+	var infoHash krpc.NodeID
+	infoHash[5] = 0x77
+
+	// Seeder: get_peers (for the token), then announce.
+	var token string
+	seeder.GetPeers(endpointOf(tracker), infoHash, func(m *krpc.Message, err error) {
+		if err != nil {
+			t.Errorf("get_peers: %v", err)
+			return
+		}
+		if len(m.Peers) != 0 {
+			t.Errorf("unexpected peers before announce: %v", m.Peers)
+		}
+		token = m.Token
+	})
+	w.clock.Drain(0)
+	if token == "" {
+		t.Fatal("no token from get_peers")
+	}
+	seeder.Announce(endpointOf(tracker), infoHash, 51413, token, func(m *krpc.Message, err error) {
+		if err != nil || m.Kind != krpc.KindResponse {
+			t.Errorf("announce failed: %+v, %v", m, err)
+		}
+	})
+	w.clock.Drain(0)
+	if got := tracker.StoredPeers(infoHash); len(got) != 1 || got[0].Port != 51413 {
+		t.Fatalf("stored peers = %+v", got)
+	}
+
+	// Leecher: get_peers now returns the seeder.
+	var peers []krpc.Peer
+	leecher.GetPeers(endpointOf(tracker), infoHash, func(m *krpc.Message, err error) {
+		if err == nil {
+			peers = m.Peers
+		}
+	})
+	w.clock.Drain(0)
+	if len(peers) != 1 || peers[0].Addr != iputil.MustParseAddr("10.0.0.2") {
+		t.Fatalf("peers = %+v", peers)
+	}
+}
+
+func TestAnnounceImpliedPort(t *testing.T) {
+	w := newSimWorld(t)
+	tracker := w.newNode(t, "10.0.0.1", 6881, 1)
+	seeder := w.newNode(t, "10.0.0.2", 40000, 2)
+	var infoHash krpc.NodeID
+	infoHash[1] = 0x42
+	var token string
+	seeder.GetPeers(endpointOf(tracker), infoHash, func(m *krpc.Message, err error) {
+		if err == nil {
+			token = m.Token
+		}
+	})
+	w.clock.Drain(0)
+	// announce with port 0 + implied: tracker must store the source port.
+	msg := krpc.NewAnnouncePeer("ti", seeder.ID(), infoHash, 0, token)
+	msg.ImpliedPort = true
+	data, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeder.sock.Send(endpointOf(tracker), data)
+	w.clock.Drain(0)
+	got := tracker.StoredPeers(infoHash)
+	if len(got) != 1 || got[0].Port != 40000 {
+		t.Fatalf("stored peers = %+v, want source port 40000", got)
+	}
+}
+
+func TestPeerStoreExpiry(t *testing.T) {
+	w := newSimWorld(t)
+	tracker := w.newNode(t, "10.0.0.1", 6881, 1)
+	seeder := w.newNode(t, "10.0.0.2", 51413, 2)
+	var infoHash krpc.NodeID
+	infoHash[2] = 9
+	var token string
+	seeder.GetPeers(endpointOf(tracker), infoHash, func(m *krpc.Message, err error) {
+		if err == nil {
+			token = m.Token
+		}
+	})
+	w.clock.Drain(0)
+	seeder.Announce(endpointOf(tracker), infoHash, 51413, token, nil)
+	w.clock.Drain(0)
+	if len(tracker.StoredPeers(infoHash)) != 1 {
+		t.Fatal("announce not stored")
+	}
+	// After the TTL (default 2h) the peer expires.
+	w.clock.RunFor(3 * time.Hour)
+	if got := tracker.StoredPeers(infoHash); len(got) != 0 {
+		t.Errorf("expired peers still served: %+v", got)
+	}
+}
+
+func TestTokenExpiresAcrossEpochs(t *testing.T) {
+	w := newSimWorld(t)
+	tracker := w.newNode(t, "10.0.0.1", 6881, 1)
+	seeder := w.newNode(t, "10.0.0.2", 51413, 2)
+	var infoHash krpc.NodeID
+	infoHash[3] = 9
+	var token string
+	seeder.GetPeers(endpointOf(tracker), infoHash, func(m *krpc.Message, err error) {
+		if err == nil {
+			token = m.Token
+		}
+	})
+	w.clock.Drain(0)
+	// Two full rotation periods later the token must be rejected.
+	w.clock.RunFor(11 * time.Minute)
+	var resp *krpc.Message
+	seeder.Announce(endpointOf(tracker), infoHash, 51413, token, func(m *krpc.Message, err error) {
+		if err == nil {
+			resp = m
+		}
+	})
+	w.clock.Drain(0)
+	if resp == nil || resp.Kind != krpc.KindError {
+		t.Fatalf("stale token accepted: %+v", resp)
+	}
+}
+
+func TestLookupPeersTraversesSwarm(t *testing.T) {
+	w := newSimWorld(t)
+	var nodes []*Node
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, w.newNode(t, "10.0.3."+itoa(i+1), 6881, int64(i+30)))
+	}
+	for i, n := range nodes {
+		for j := 1; j <= 3; j++ {
+			k := (i + j) % len(nodes)
+			n.AddNode(krpc.NodeInfo{ID: nodes[k].ID(), Addr: endpointOf(nodes[k]).Addr, Port: endpointOf(nodes[k]).Port})
+		}
+	}
+	var infoHash krpc.NodeID
+	infoHash[0] = 0x0f
+	// Announce on node 7 directly via its store for the lookup to find.
+	seeder := w.newNode(t, "10.0.4.1", 51413, 99)
+	var token string
+	seeder.GetPeers(endpointOf(nodes[7]), infoHash, func(m *krpc.Message, err error) {
+		if err == nil {
+			token = m.Token
+		}
+	})
+	w.clock.Drain(0)
+	seeder.Announce(endpointOf(nodes[7]), infoHash, 51413, token, nil)
+	w.clock.Drain(0)
+
+	var found []krpc.Peer
+	done := false
+	nodes[0].LookupPeers(infoHash, func(peers []krpc.Peer) {
+		found, done = peers, true
+	})
+	w.clock.Drain(0)
+	if !done {
+		t.Fatal("lookup never converged")
+	}
+	if len(found) != 1 || found[0].Port != 51413 {
+		t.Fatalf("lookup peers = %+v", found)
+	}
+}
+
+func TestRoutingTableEviction(t *testing.T) {
+	var self krpc.NodeID
+	rt := newRoutingTable(self, time.Minute)
+	now := netsim.Epoch
+	// Fill one bucket: IDs with top bit set land in bucket 159.
+	for i := 0; i < BucketSize; i++ {
+		var id krpc.NodeID
+		id[0] = 0x80
+		id[19] = byte(i)
+		rt.add(krpc.NodeInfo{ID: id, Addr: iputil.Addr(i), Port: 1}, now)
+	}
+	if rt.size() != BucketSize {
+		t.Fatalf("size = %d", rt.size())
+	}
+	var extra krpc.NodeID
+	extra[0] = 0x80
+	extra[19] = 0xff
+	// Fresh bucket: newcomer rejected.
+	rt.add(krpc.NodeInfo{ID: extra, Addr: iputil.Addr(99), Port: 1}, now.Add(time.Second))
+	if rt.size() != BucketSize {
+		t.Fatalf("bucket overflowed")
+	}
+	found := false
+	for _, e := range rt.closest(extra, BucketSize) {
+		if e.ID == extra {
+			found = true
+		}
+	}
+	if found {
+		t.Error("newcomer should have been rejected from fresh bucket")
+	}
+	// After staleness, newcomer evicts the oldest.
+	rt.add(krpc.NodeInfo{ID: extra, Addr: iputil.Addr(99), Port: 1}, now.Add(time.Hour))
+	found = false
+	for _, e := range rt.closest(extra, BucketSize) {
+		if e.ID == extra {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("newcomer should evict stale entry")
+	}
+}
+
+func TestRoutingTableUpdatesEndpointOnRejoin(t *testing.T) {
+	var self krpc.NodeID
+	rt := newRoutingTable(self, time.Minute)
+	var id krpc.NodeID
+	id[0] = 0x40
+	rt.add(krpc.NodeInfo{ID: id, Addr: 7, Port: 1000}, netsim.Epoch)
+	rt.add(krpc.NodeInfo{ID: id, Addr: 7, Port: 2000}, netsim.Epoch.Add(time.Second))
+	if rt.size() != 1 {
+		t.Fatalf("size = %d", rt.size())
+	}
+	if got := rt.closest(id, 1)[0].Port; got != 2000 {
+		t.Errorf("port = %d, want updated 2000", got)
+	}
+}
+
+func TestRandomEntryCoverage(t *testing.T) {
+	var self krpc.NodeID
+	rt := newRoutingTable(self, time.Minute)
+	if _, ok := rt.randomEntry(3); ok {
+		t.Error("empty table returned an entry")
+	}
+	for i := 1; i <= 3; i++ {
+		var id krpc.NodeID
+		id[0] = byte(i << 4)
+		rt.add(krpc.NodeInfo{ID: id, Addr: iputil.Addr(i), Port: 1}, netsim.Epoch)
+	}
+	seen := map[iputil.Addr]bool{}
+	for pick := 0; pick < 30; pick++ {
+		info, ok := rt.randomEntry(pick)
+		if !ok {
+			t.Fatal("entry expected")
+		}
+		seen[info.Addr] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("randomEntry reached %d of 3 entries", len(seen))
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,359 @@
+package dht
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+// Config tunes a DHT node.
+type Config struct {
+	// ID is the node's identity; zero means "derive from IDSeed".
+	ID krpc.NodeID
+	// IDSeed feeds GenerateNodeID when ID is zero; combined with the
+	// node's (possibly private) IP the way real clients do.
+	IDSeed uint64
+	// PrivateIP is the address hashed into the node ID; for NATed users
+	// this is the RFC 1918 address, so siblings behind one NAT still get
+	// distinct IDs.
+	PrivateIP iputil.Addr
+	// Version is the client version string placed in responses ("v" key).
+	Version string
+	// QueryTimeout bounds how long an issued query waits for a response.
+	QueryTimeout time.Duration
+	// KeepaliveInterval is how often the node pings a random routing-table
+	// entry. Besides table maintenance, this outbound traffic is what
+	// keeps a NAT mapping alive. Zero disables keepalives.
+	KeepaliveInterval time.Duration
+	// TableStaleAfter configures routing-table eviction.
+	TableStaleAfter time.Duration
+	// BootstrapAttempts is how many times Bootstrap retries when a round
+	// learns no nodes (UDP loss makes single-shot bootstraps flaky);
+	// zero means 5, matching real clients' persistence.
+	BootstrapAttempts int
+	// BootstrapRetryDelay separates bootstrap attempts; zero means 1 minute.
+	BootstrapRetryDelay time.Duration
+	// PeerTTL is how long an announced peer is served before expiring;
+	// zero means 2 hours.
+	PeerTTL time.Duration
+	// PeersPerHash caps stored announces per info-hash; zero means 64.
+	PeersPerHash int
+	// TokenRotation is the write-token secret rotation period; zero means
+	// 5 minutes (BEP 5: tokens older than ten minutes are rejected).
+	TokenRotation time.Duration
+	// Seed drives the node's private RNG (transaction IDs, keepalive
+	// target choice).
+	Seed int64
+}
+
+// Stats counts node activity.
+type Stats struct {
+	QueriesReceived   int64
+	ResponsesSent     int64
+	QueriesSent       int64
+	ResponsesReceived int64
+	Timeouts          int64
+}
+
+// Node is a DHT participant bound to one socket.
+type Node struct {
+	id        krpc.NodeID
+	cfg       Config
+	sock      netsim.Socket
+	clock     Clock
+	rng       *rand.Rand
+	table     *routingTable
+	pending   map[string]*pendingQuery
+	store     *peerStore
+	tokenBase uint64 // node-private seed for write-token secrets
+	stats     Stats
+	closed    bool
+	stopKA    func() bool
+}
+
+type pendingQuery struct {
+	done     func(*krpc.Message, error)
+	stopTime func() bool
+}
+
+// ErrTimeout is delivered to query callbacks when no response arrives.
+var ErrTimeout = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "dht: query timed out" }
+
+// NewNode creates a node on the given socket and installs its handler. The
+// node is immediately able to answer queries; call Bootstrap to populate its
+// routing table.
+func NewNode(sock netsim.Socket, clock Clock, cfg Config) *Node {
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 2 * time.Second
+	}
+	id := cfg.ID
+	if id == (krpc.NodeID{}) {
+		id = krpc.GenerateNodeID(cfg.PrivateIP, cfg.IDSeed)
+	}
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		sock:    sock,
+		clock:   clock,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		table:   newRoutingTable(id, cfg.TableStaleAfter),
+		pending: make(map[string]*pendingQuery),
+		store:   newPeerStore(cfg.PeerTTL, cfg.PeersPerHash),
+	}
+	n.tokenBase = n.rng.Uint64()
+	sock.SetHandler(n.handle)
+	if cfg.KeepaliveInterval > 0 {
+		n.scheduleKeepalive()
+	}
+	return n
+}
+
+// tokenSecret derives the write-token secret for an epoch offset (0 =
+// current, 1 = previous). Secrets rotate with wall/simulated time with no
+// timers, keeping large simulated swarms cheap.
+func (n *Node) tokenSecret(offset int) uint64 {
+	period := n.cfg.TokenRotation
+	if period <= 0 {
+		period = 5 * time.Minute
+	}
+	epoch := n.clock.Now().UnixNano()/int64(period) - int64(offset)
+	return n.tokenBase ^ uint64(epoch)*0x9e3779b97f4a7c15
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() krpc.NodeID { return n.id }
+
+// Stats returns a snapshot of activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// TableSize returns the routing-table population.
+func (n *Node) TableSize() int { return n.table.size() }
+
+// Closest returns up to k routing-table nodes closest to target.
+func (n *Node) Closest(target krpc.NodeID, k int) []krpc.NodeInfo {
+	return n.table.closest(target, k)
+}
+
+// AddNode seeds the routing table directly (used by the world builder to
+// pre-populate tables without simulating weeks of organic traffic).
+func (n *Node) AddNode(info krpc.NodeInfo) {
+	n.table.add(info, n.clock.Now())
+}
+
+// Close detaches the node from its socket and cancels timers.
+func (n *Node) Close() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	if n.stopKA != nil {
+		n.stopKA()
+	}
+	for _, p := range n.pending {
+		p.stopTime()
+	}
+	n.pending = make(map[string]*pendingQuery)
+	n.sock.Close()
+}
+
+// Ping issues a ping query; done receives the response or an error.
+func (n *Node) Ping(to netsim.Endpoint, done func(*krpc.Message, error)) {
+	tx := n.newTx()
+	msg := krpc.NewPing(tx, n.id)
+	n.sendQuery(to, msg, done)
+}
+
+// FindNode issues a find_node query for target.
+func (n *Node) FindNode(to netsim.Endpoint, target krpc.NodeID, done func(*krpc.Message, error)) {
+	tx := n.newTx()
+	msg := krpc.NewFindNode(tx, n.id, target)
+	n.sendQuery(to, msg, done)
+}
+
+// Bootstrap performs an iterative find_node toward the node's own ID using
+// entry as the first contact, populating the routing table; it retries up to
+// BootstrapAttempts times when a round learns nothing. done fires once the
+// lookup converges (or retries are exhausted) with the number of nodes
+// learned.
+func (n *Node) Bootstrap(entry netsim.Endpoint, done func(learned int)) {
+	attempts := n.cfg.BootstrapAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	delay := n.cfg.BootstrapRetryDelay
+	if delay <= 0 {
+		delay = time.Minute
+	}
+	var attempt func(left int)
+	attempt = func(left int) {
+		n.bootstrapOnce(entry, func(learned int) {
+			if learned == 0 && left > 1 && !n.closed {
+				n.clock.After(delay, func() { attempt(left - 1) })
+				return
+			}
+			if done != nil {
+				done(learned)
+			}
+		})
+	}
+	attempt(attempts)
+}
+
+func (n *Node) bootstrapOnce(entry netsim.Endpoint, done func(learned int)) {
+	seen := map[krpc.NodeID]bool{n.id: true}
+	asked := map[netsim.Endpoint]bool{}
+	learned := 0
+	inFlight := 0
+	var step func(eps []netsim.Endpoint)
+	finishIfIdle := func() {
+		if inFlight == 0 && done != nil {
+			d := done
+			done = nil
+			d(learned)
+		}
+	}
+	step = func(eps []netsim.Endpoint) {
+		for _, ep := range eps {
+			if asked[ep] || n.closed {
+				continue
+			}
+			asked[ep] = true
+			inFlight++
+			n.FindNode(ep, n.id, func(m *krpc.Message, err error) {
+				inFlight--
+				if err == nil && m != nil {
+					var next []netsim.Endpoint
+					for _, info := range m.Nodes {
+						if !seen[info.ID] {
+							seen[info.ID] = true
+							learned++
+							n.table.add(info, n.clock.Now())
+							next = append(next, netsim.Endpoint{Addr: info.Addr, Port: info.Port})
+						}
+					}
+					step(next)
+				}
+				finishIfIdle()
+			})
+		}
+		finishIfIdle()
+	}
+	step([]netsim.Endpoint{entry})
+}
+
+func (n *Node) sendQuery(to netsim.Endpoint, msg *krpc.Message, done func(*krpc.Message, error)) {
+	data, err := msg.Marshal()
+	if err != nil {
+		if done != nil {
+			done(nil, err)
+		}
+		return
+	}
+	tx := msg.TxID
+	stop := n.clock.After(n.cfg.QueryTimeout, func() {
+		if p, ok := n.pending[tx]; ok {
+			delete(n.pending, tx)
+			n.stats.Timeouts++
+			if p.done != nil {
+				p.done(nil, ErrTimeout)
+			}
+		}
+	})
+	n.pending[tx] = &pendingQuery{done: done, stopTime: stop}
+	n.stats.QueriesSent++
+	n.sock.Send(to, data)
+}
+
+// handle processes an incoming datagram.
+func (n *Node) handle(from netsim.Endpoint, payload []byte) {
+	if n.closed {
+		return
+	}
+	m, err := krpc.Unmarshal(payload)
+	if err != nil {
+		return // silently ignore garbage, as real nodes do
+	}
+	switch m.Kind {
+	case krpc.KindQuery:
+		n.stats.QueriesReceived++
+		n.table.add(krpc.NodeInfo{ID: m.ID, Addr: from.Addr, Port: from.Port}, n.clock.Now())
+		n.answer(from, m)
+	case krpc.KindResponse, krpc.KindError:
+		p, ok := n.pending[m.TxID]
+		if !ok {
+			return // late or spoofed response
+		}
+		delete(n.pending, m.TxID)
+		p.stopTime()
+		if m.Kind == krpc.KindResponse {
+			n.stats.ResponsesReceived++
+			n.table.add(krpc.NodeInfo{ID: m.ID, Addr: from.Addr, Port: from.Port}, n.clock.Now())
+			if p.done != nil {
+				p.done(m, nil)
+			}
+		} else if p.done != nil {
+			p.done(m, nil)
+		}
+	}
+}
+
+func (n *Node) answer(from netsim.Endpoint, q *krpc.Message) {
+	var resp *krpc.Message
+	switch q.Method {
+	case krpc.MethodPing:
+		resp = krpc.NewPingResponse(q.TxID, n.id, n.cfg.Version)
+	case krpc.MethodFindNode:
+		nodes := n.table.closest(q.Target, BucketSize)
+		resp = krpc.NewFindNodeResponse(q.TxID, n.id, nodes, n.cfg.Version)
+	case krpc.MethodGetPeers:
+		peers := n.store.get(q.Target, n.clock.Now())
+		nodes := n.table.closest(q.Target, BucketSize)
+		token := makeToken(n.tokenSecret(0), uint32(from.Addr))
+		resp = krpc.NewGetPeersResponse(q.TxID, n.id, peers, nodes, token, n.cfg.Version)
+	case krpc.MethodAnnouncePeer:
+		if !n.tokenValid(q.Token, from) {
+			resp = krpc.NewError(q.TxID, krpc.ErrCodeProtocol, "Bad Token")
+			break
+		}
+		port := q.AnnPort
+		if q.ImpliedPort || port == 0 {
+			port = from.Port
+		}
+		n.store.add(q.Target, krpc.Peer{Addr: from.Addr, Port: port}, n.clock.Now())
+		resp = krpc.NewPingResponse(q.TxID, n.id, n.cfg.Version)
+	default:
+		resp = krpc.NewError(q.TxID, krpc.ErrCodeMethodUnknown, "Method Unknown")
+	}
+	data, err := resp.Marshal()
+	if err != nil {
+		return
+	}
+	n.stats.ResponsesSent++
+	n.sock.Send(from, data)
+}
+
+func (n *Node) scheduleKeepalive() {
+	n.stopKA = n.clock.After(n.cfg.KeepaliveInterval, func() {
+		if n.closed {
+			return
+		}
+		if info, ok := n.table.randomEntry(n.rng.Intn(1 << 30)); ok {
+			n.Ping(netsim.Endpoint{Addr: info.Addr, Port: info.Port}, nil)
+		}
+		n.scheduleKeepalive()
+	})
+}
+
+func (n *Node) newTx() string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], n.rng.Uint32())
+	return string(b[:])
+}

@@ -1,0 +1,171 @@
+package dht
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+// peerStore holds announced peers per info-hash with a TTL and caps, as real
+// DHT nodes do (BEP 5 suggests re-announcing at least every ~15 minutes; we
+// default to a 2-hour expiry).
+type peerStore struct {
+	byHash  map[krpc.NodeID][]storedPeer
+	ttl     time.Duration
+	perHash int
+}
+
+type storedPeer struct {
+	peer krpc.Peer
+	at   time.Time
+}
+
+func newPeerStore(ttl time.Duration, perHash int) *peerStore {
+	if ttl <= 0 {
+		ttl = 2 * time.Hour
+	}
+	if perHash <= 0 {
+		perHash = 64
+	}
+	return &peerStore{byHash: make(map[krpc.NodeID][]storedPeer), ttl: ttl, perHash: perHash}
+}
+
+// add inserts or refreshes a peer for the info-hash.
+func (s *peerStore) add(infoHash krpc.NodeID, p krpc.Peer, now time.Time) {
+	list := s.prune(infoHash, now)
+	for i := range list {
+		if list[i].peer == p {
+			list[i].at = now
+			s.byHash[infoHash] = list
+			return
+		}
+	}
+	if len(list) >= s.perHash {
+		// Evict the oldest.
+		oldest := 0
+		for i := 1; i < len(list); i++ {
+			if list[i].at.Before(list[oldest].at) {
+				oldest = i
+			}
+		}
+		list[oldest] = storedPeer{peer: p, at: now}
+	} else {
+		list = append(list, storedPeer{peer: p, at: now})
+	}
+	s.byHash[infoHash] = list
+}
+
+// get returns the unexpired peers for the info-hash.
+func (s *peerStore) get(infoHash krpc.NodeID, now time.Time) []krpc.Peer {
+	list := s.prune(infoHash, now)
+	out := make([]krpc.Peer, 0, len(list))
+	for _, sp := range list {
+		out = append(out, sp.peer)
+	}
+	return out
+}
+
+func (s *peerStore) prune(infoHash krpc.NodeID, now time.Time) []storedPeer {
+	list := s.byHash[infoHash]
+	kept := list[:0]
+	for _, sp := range list {
+		if now.Sub(sp.at) <= s.ttl {
+			kept = append(kept, sp)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.byHash, infoHash)
+		return nil
+	}
+	s.byHash[infoHash] = kept
+	return kept
+}
+
+// makeToken derives the write token handed out in get_peers responses: a
+// hash over a rotating secret and the requester's address, so only a host
+// that recently asked us from that address can announce (BEP 5).
+func makeToken(secret uint64, addr uint32) string {
+	var buf [12]byte
+	binary.BigEndian.PutUint64(buf[0:8], secret)
+	binary.BigEndian.PutUint32(buf[8:12], addr)
+	sum := sha1.Sum(buf[:])
+	return string(sum[:8])
+}
+
+// tokenValid accepts tokens derived from the current or previous rotation
+// epoch's secret.
+func (n *Node) tokenValid(token string, from netsim.Endpoint) bool {
+	return token == makeToken(n.tokenSecret(0), uint32(from.Addr)) ||
+		token == makeToken(n.tokenSecret(1), uint32(from.Addr))
+}
+
+// GetPeers issues a get_peers query for the info-hash.
+func (n *Node) GetPeers(to netsim.Endpoint, infoHash krpc.NodeID, done func(*krpc.Message, error)) {
+	n.sendQuery(to, krpc.NewGetPeers(n.newTx(), n.id, infoHash), done)
+}
+
+// Announce issues an announce_peer query using a token obtained from a
+// prior GetPeers against the same node.
+func (n *Node) Announce(to netsim.Endpoint, infoHash krpc.NodeID, port uint16, token string, done func(*krpc.Message, error)) {
+	n.sendQuery(to, krpc.NewAnnouncePeer(n.newTx(), n.id, infoHash, port, token), done)
+}
+
+// StoredPeers reports the node's current unexpired announces for an
+// info-hash (its own storage, not a network lookup).
+func (n *Node) StoredPeers(infoHash krpc.NodeID) []krpc.Peer {
+	return n.store.get(infoHash, n.clock.Now())
+}
+
+// LookupPeers performs an iterative get_peers lookup toward the info-hash,
+// collecting peers from every node that has announces; done receives the
+// deduplicated peers once the lookup converges.
+func (n *Node) LookupPeers(infoHash krpc.NodeID, done func([]krpc.Peer)) {
+	asked := map[netsim.Endpoint]bool{}
+	seenPeer := map[krpc.Peer]bool{}
+	var peers []krpc.Peer
+	inFlight := 0
+	finishIfIdle := func() {
+		if inFlight == 0 && done != nil {
+			d := done
+			done = nil
+			d(peers)
+		}
+	}
+	var step func(eps []netsim.Endpoint)
+	step = func(eps []netsim.Endpoint) {
+		for _, ep := range eps {
+			if asked[ep] || n.closed {
+				continue
+			}
+			asked[ep] = true
+			inFlight++
+			n.GetPeers(ep, infoHash, func(m *krpc.Message, err error) {
+				inFlight--
+				if err == nil && m != nil && m.Kind == krpc.KindResponse {
+					for _, p := range m.Peers {
+						if !seenPeer[p] {
+							seenPeer[p] = true
+							peers = append(peers, p)
+						}
+					}
+					var next []netsim.Endpoint
+					for _, info := range m.Nodes {
+						next = append(next, netsim.Endpoint{Addr: info.Addr, Port: info.Port})
+					}
+					step(next)
+				}
+				finishIfIdle()
+			})
+		}
+		finishIfIdle()
+	}
+	start := n.table.closest(infoHash, BucketSize)
+	eps := make([]netsim.Endpoint, 0, len(start))
+	for _, info := range start {
+		eps = append(eps, netsim.Endpoint{Addr: info.Addr, Port: info.Port})
+	}
+	step(eps)
+}

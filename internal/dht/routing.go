@@ -1,0 +1,125 @@
+package dht
+
+import (
+	"sort"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/krpc"
+	"github.com/reuseblock/reuseblock/internal/netsim"
+)
+
+// BucketSize is Kademlia's k: the per-bucket capacity and the number of
+// neighbours returned by find_node. The paper notes a new BitTorrent user
+// learns eight neighbours — this constant.
+const BucketSize = 8
+
+type tableEntry struct {
+	info     krpc.NodeInfo
+	lastSeen time.Time
+}
+
+// routingTable is a fixed 160-bucket Kademlia table keyed by XOR distance
+// from the owner's ID.
+type routingTable struct {
+	self    krpc.NodeID
+	buckets [160][]tableEntry
+	// staleAfter is how long an entry may go unseen before a newcomer may
+	// evict it. Real tables ping before evicting; the simplification keeps
+	// stale entries around, which is exactly the "stale information"
+	// phenomenon the crawler must disambiguate (§3.1).
+	staleAfter time.Duration
+}
+
+func newRoutingTable(self krpc.NodeID, staleAfter time.Duration) *routingTable {
+	if staleAfter <= 0 {
+		staleAfter = 15 * time.Minute
+	}
+	return &routingTable{self: self, staleAfter: staleAfter}
+}
+
+// add inserts or refreshes a node; full buckets evict their most stale entry
+// only if it is older than staleAfter.
+func (rt *routingTable) add(info krpc.NodeInfo, now time.Time) {
+	idx := rt.self.BucketIndex(info.ID)
+	if idx < 0 {
+		return // ourselves
+	}
+	bucket := rt.buckets[idx]
+	for i := range bucket {
+		if bucket[i].info.ID == info.ID {
+			// Same node; update endpoint (it may have rebooted onto a
+			// new port) and refresh.
+			bucket[i].info = info
+			bucket[i].lastSeen = now
+			return
+		}
+	}
+	if len(bucket) < BucketSize {
+		rt.buckets[idx] = append(bucket, tableEntry{info, now})
+		return
+	}
+	oldest := 0
+	for i := 1; i < len(bucket); i++ {
+		if bucket[i].lastSeen.Before(bucket[oldest].lastSeen) {
+			oldest = i
+		}
+	}
+	if now.Sub(bucket[oldest].lastSeen) > rt.staleAfter {
+		bucket[oldest] = tableEntry{info, now}
+	}
+}
+
+// closest returns up to n nodes closest to target by XOR distance.
+func (rt *routingTable) closest(target krpc.NodeID, n int) []krpc.NodeInfo {
+	var all []krpc.NodeInfo
+	for i := range rt.buckets {
+		for _, e := range rt.buckets[i] {
+			all = append(all, e.info)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ID.Less(all[j].ID, target)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// size returns the number of entries in the table.
+func (rt *routingTable) size() int {
+	n := 0
+	for i := range rt.buckets {
+		n += len(rt.buckets[i])
+	}
+	return n
+}
+
+// randomEntry returns an arbitrary entry for keepalive pings; ok is false if
+// the table is empty. pick is an arbitrary non-negative selector (callers
+// pass rng output) so selection stays deterministic under a seeded RNG.
+func (rt *routingTable) randomEntry(pick int) (krpc.NodeInfo, bool) {
+	n := rt.size()
+	if n == 0 {
+		return krpc.NodeInfo{}, false
+	}
+	pick %= n
+	for i := range rt.buckets {
+		if pick < len(rt.buckets[i]) {
+			return rt.buckets[i][pick].info, true
+		}
+		pick -= len(rt.buckets[i])
+	}
+	return krpc.NodeInfo{}, false
+}
+
+// endpoints lists the current endpoints in the table; used in tests.
+func (rt *routingTable) endpoints() []netsim.Endpoint {
+	var out []netsim.Endpoint
+	for i := range rt.buckets {
+		for _, e := range rt.buckets[i] {
+			out = append(out, netsim.Endpoint{Addr: e.info.Addr, Port: e.info.Port})
+		}
+	}
+	return out
+}

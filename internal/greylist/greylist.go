@@ -1,0 +1,212 @@
+// Package greylist implements the mitigation Section 6 of the paper
+// recommends for reused addresses: instead of dropping traffic from every
+// blocklisted address, addresses known to be reused (NATed or dynamically
+// allocated) are greylisted — temporarily rejected in a way that legitimate
+// clients recover from by retrying, while fire-and-forget abuse tools do
+// not. The semantics follow classic SMTP greylisting (Spamd/Spamassassin,
+// RFC 6647): the first attempt from an unknown source is temp-failed, a
+// retry after a minimum delay but before the entry expires passes, and
+// passed entries stay whitelisted for a while.
+package greylist
+
+import (
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Action is a filtering decision.
+type Action int
+
+// Decisions.
+const (
+	// Allow passes the traffic.
+	Allow Action = iota
+	// Block drops it outright.
+	Block
+	// TempFail rejects with "try again later" — the greylisting verb.
+	TempFail
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Block:
+		return "block"
+	case TempFail:
+		return "tempfail"
+	default:
+		return "invalid"
+	}
+}
+
+// Policy decides what to do with a blocklisted address before any
+// greylisting state is consulted.
+type Policy struct {
+	// Reused marks addresses from the study's published reuse list; they
+	// are greylisted instead of blocked.
+	Reused *iputil.Set
+	// ReusedPrefixes extends Reused with prefix-granular knowledge
+	// (dynamic /24s); nil disables.
+	ReusedPrefixes *iputil.PrefixSet
+	// AlwaysBlockTypes lists feed types whose listings are blocked even
+	// for reused addresses — the paper's DDoS exception, where dropping
+	// attack volume outweighs collateral damage.
+	AlwaysBlockTypes map[blocklist.Type]bool
+}
+
+// IsReused reports whether the policy considers addr reused.
+func (p *Policy) IsReused(addr iputil.Addr) bool {
+	if p.Reused != nil && p.Reused.Contains(addr) {
+		return true
+	}
+	return p.ReusedPrefixes != nil && p.ReusedPrefixes.Covers(addr)
+}
+
+// Classify maps a blocklisted address (listed on feeds of the given types)
+// to the static policy outcome: Block, or TempFail (greylist) for reused
+// addresses. Addresses not on any list should not be passed here; callers
+// Allow them directly.
+func (p *Policy) Classify(addr iputil.Addr, listedTypes []blocklist.Type) Action {
+	for _, t := range listedTypes {
+		if p.AlwaysBlockTypes[t] {
+			return Block
+		}
+	}
+	if p.IsReused(addr) {
+		return TempFail
+	}
+	return Block
+}
+
+// Config tunes the greylisting window.
+type Config struct {
+	// MinDelay is the minimum wait before a retry passes (default 5 min).
+	MinDelay time.Duration
+	// RetryWindow is how long a pending entry waits for the retry before
+	// expiring (default 24 h).
+	RetryWindow time.Duration
+	// PassLifetime is how long a passed source stays whitelisted
+	// (default 36 days, Spamd-style).
+	PassLifetime time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.MinDelay <= 0 {
+		c.MinDelay = 5 * time.Minute
+	}
+	if c.RetryWindow <= 0 {
+		c.RetryWindow = 24 * time.Hour
+	}
+	if c.PassLifetime <= 0 {
+		c.PassLifetime = 36 * 24 * time.Hour
+	}
+}
+
+// Engine is the stateful greylist: it tracks first-seen and passed sources.
+type Engine struct {
+	cfg     Config
+	policy  *Policy
+	pending map[iputil.Addr]time.Time // first attempt time
+	passed  map[iputil.Addr]time.Time // whitelisted until
+	stats   Stats
+}
+
+// Stats counts engine decisions.
+type Stats struct {
+	Allowed     int64
+	Blocked     int64
+	TempFailed  int64
+	PassedRetry int64 // greylisted sources that retried and passed
+	Expired     int64 // pending entries that never retried in time
+}
+
+// NewEngine builds a greylisting engine over the policy.
+func NewEngine(policy *Policy, cfg Config) *Engine {
+	cfg.applyDefaults()
+	return &Engine{
+		cfg:     cfg,
+		policy:  policy,
+		pending: make(map[iputil.Addr]time.Time),
+		passed:  make(map[iputil.Addr]time.Time),
+	}
+}
+
+// Stats returns a snapshot of decision counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Decide processes one connection attempt from addr at the given time.
+// listedTypes is nil/empty when the address is not on any blocklist.
+func (e *Engine) Decide(addr iputil.Addr, at time.Time, listedTypes []blocklist.Type) Action {
+	if len(listedTypes) == 0 {
+		e.stats.Allowed++
+		return Allow
+	}
+	switch e.policy.Classify(addr, listedTypes) {
+	case Block:
+		e.stats.Blocked++
+		return Block
+	case Allow:
+		e.stats.Allowed++
+		return Allow
+	}
+	// Greylist path.
+	if until, ok := e.passed[addr]; ok {
+		if at.Before(until) {
+			e.stats.Allowed++
+			return Allow
+		}
+		delete(e.passed, addr)
+	}
+	first, ok := e.pending[addr]
+	if !ok {
+		e.pending[addr] = at
+		e.stats.TempFailed++
+		return TempFail
+	}
+	since := at.Sub(first)
+	switch {
+	case since < e.cfg.MinDelay:
+		// Retrying too fast (bots hammering) — still temp-failed; the
+		// clock is not reset, as in Spamd.
+		e.stats.TempFailed++
+		return TempFail
+	case since <= e.cfg.RetryWindow:
+		delete(e.pending, addr)
+		e.passed[addr] = at.Add(e.cfg.PassLifetime)
+		e.stats.PassedRetry++
+		e.stats.Allowed++
+		return Allow
+	default:
+		// Window expired: start over.
+		e.pending[addr] = at
+		e.stats.Expired++
+		e.stats.TempFailed++
+		return TempFail
+	}
+}
+
+// Purge drops state older than the relevant windows; call periodically on
+// long-running deployments.
+func (e *Engine) Purge(now time.Time) {
+	for a, first := range e.pending {
+		if now.Sub(first) > e.cfg.RetryWindow {
+			delete(e.pending, a)
+			e.stats.Expired++
+		}
+	}
+	for a, until := range e.passed {
+		if now.After(until) {
+			delete(e.passed, a)
+		}
+	}
+}
+
+// PendingLen and PassedLen expose state sizes for monitoring.
+func (e *Engine) PendingLen() int { return len(e.pending) }
+
+// PassedLen returns the number of currently whitelisted sources.
+func (e *Engine) PassedLen() int { return len(e.passed) }

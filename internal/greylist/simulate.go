@@ -1,0 +1,96 @@
+package greylist
+
+import (
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Attempt is one connection attempt in a traffic trace.
+type Attempt struct {
+	Addr iputil.Addr
+	At   time.Time
+	// Legit marks traffic from a legitimate user (ground truth).
+	Legit bool
+	// WillRetry marks clients that retry after a TempFail (real mail
+	// servers and browsers do; fire-and-forget abuse tools mostly don't).
+	WillRetry bool
+	// RetryAfter is the client's retry delay when WillRetry (default 10
+	// minutes if zero).
+	RetryAfter time.Duration
+	// ListedTypes are the feed types the address is listed on at attempt
+	// time (empty = not blocklisted).
+	ListedTypes []blocklist.Type
+}
+
+// Outcome scores a policy over a trace: the confusion matrix the paper's
+// Section 6 argument rests on.
+type Outcome struct {
+	LegitAllowed    int // true negatives (good traffic passes)
+	LegitLost       int // false positives: good traffic blocked outright
+	LegitDelayed    int // good traffic that passed only after greylist retry
+	AbuseBlocked    int // true positives
+	AbuseAllowed    int // false negatives: abuse that slipped through
+	AbuseTempFailed int // abuse absorbed by the greylist (never retried)
+}
+
+// CollateralRate is the share of legitimate traffic lost outright.
+func (o Outcome) CollateralRate() float64 {
+	total := o.LegitAllowed + o.LegitLost + o.LegitDelayed
+	if total == 0 {
+		return 0
+	}
+	return float64(o.LegitLost) / float64(total)
+}
+
+// CatchRate is the share of abusive traffic stopped (blocked or absorbed).
+func (o Outcome) CatchRate() float64 {
+	total := o.AbuseBlocked + o.AbuseAllowed + o.AbuseTempFailed
+	if total == 0 {
+		return 0
+	}
+	return float64(o.AbuseBlocked+o.AbuseTempFailed) / float64(total)
+}
+
+// Simulate replays a trace through an engine, modelling retry behaviour:
+// a temp-failed client with WillRetry set attempts again after RetryAfter
+// (and once more after double that, as real MTAs do).
+func Simulate(e *Engine, trace []Attempt) Outcome {
+	var out Outcome
+	for _, a := range trace {
+		action := e.Decide(a.Addr, a.At, a.ListedTypes)
+		if action == TempFail && a.WillRetry {
+			delay := a.RetryAfter
+			if delay <= 0 {
+				delay = 10 * time.Minute
+			}
+			// First retry; if still temp-failed (too fast), back off once.
+			action = e.Decide(a.Addr, a.At.Add(delay), a.ListedTypes)
+			if action == TempFail {
+				action = e.Decide(a.Addr, a.At.Add(3*delay), a.ListedTypes)
+			}
+			if action == Allow {
+				if a.Legit {
+					out.LegitDelayed++
+				} else {
+					out.AbuseAllowed++
+				}
+				continue
+			}
+		}
+		switch {
+		case a.Legit && action == Allow:
+			out.LegitAllowed++
+		case a.Legit: // blocked or gave up on tempfail
+			out.LegitLost++
+		case action == Allow:
+			out.AbuseAllowed++
+		case action == Block:
+			out.AbuseBlocked++
+		default:
+			out.AbuseTempFailed++
+		}
+	}
+	return out
+}

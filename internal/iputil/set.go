@@ -1,0 +1,148 @@
+package iputil
+
+import "sort"
+
+// Set is a mutable set of IPv4 addresses. The zero value is not ready for
+// use; construct with NewSet.
+type Set struct {
+	m map[Addr]struct{}
+}
+
+// NewSet returns an empty address set.
+func NewSet() *Set {
+	return &Set{m: make(map[Addr]struct{})}
+}
+
+// SetOf builds a set from the given addresses.
+func SetOf(addrs ...Addr) *Set {
+	s := NewSet()
+	for _, a := range addrs {
+		s.Add(a)
+	}
+	return s
+}
+
+// Add inserts a into the set; it reports whether a was newly added.
+func (s *Set) Add(a Addr) bool {
+	if _, ok := s.m[a]; ok {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// Remove deletes a from the set.
+func (s *Set) Remove(a Addr) {
+	delete(s.m, a)
+}
+
+// Contains reports membership.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// AddSet inserts every address of t into s.
+func (s *Set) AddSet(t *Set) {
+	for a := range t.m {
+		s.m[a] = struct{}{}
+	}
+}
+
+// Intersect returns a new set holding the addresses present in both s and t.
+func (s *Set) Intersect(t *Set) *Set {
+	small, big := s, t
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	out := NewSet()
+	for a := range small.m {
+		if big.Contains(a) {
+			out.m[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Sorted returns the addresses in ascending numeric order.
+func (s *Set) Sorted() []Addr {
+	out := make([]Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Slash24s returns the set of /24 prefixes covering the members of s.
+func (s *Set) Slash24s() *PrefixSet {
+	ps := NewPrefixSet()
+	for a := range s.m {
+		ps.Add(a.Slash24())
+	}
+	return ps
+}
+
+// PrefixSet is a set of canonical prefixes. Unlike Set it stores prefixes of
+// mixed lengths; Covers answers "is this address inside any member?".
+type PrefixSet struct {
+	m map[Prefix]struct{}
+	// lens tracks which prefix lengths are present so Covers only probes
+	// lengths that can match.
+	lens [33]int
+}
+
+// NewPrefixSet returns an empty prefix set.
+func NewPrefixSet() *PrefixSet {
+	return &PrefixSet{m: make(map[Prefix]struct{})}
+}
+
+// Add inserts p; it reports whether p was newly added.
+func (ps *PrefixSet) Add(p Prefix) bool {
+	if _, ok := ps.m[p]; ok {
+		return false
+	}
+	ps.m[p] = struct{}{}
+	ps.lens[p.Bits()]++
+	return true
+}
+
+// Contains reports whether exactly p is a member.
+func (ps *PrefixSet) Contains(p Prefix) bool {
+	_, ok := ps.m[p]
+	return ok
+}
+
+// Covers reports whether any member prefix contains a.
+func (ps *PrefixSet) Covers(a Addr) bool {
+	for bits := 32; bits >= 0; bits-- {
+		if ps.lens[bits] == 0 {
+			continue
+		}
+		if _, ok := ps.m[PrefixFrom(a, bits)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of member prefixes.
+func (ps *PrefixSet) Len() int { return len(ps.m) }
+
+// Sorted returns members ordered by base address, then prefix length.
+func (ps *PrefixSet) Sorted() []Prefix {
+	out := make([]Prefix, 0, len(ps.m))
+	for p := range ps.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Base() != out[j].Base() {
+			return out[i].Base() < out[j].Base()
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}

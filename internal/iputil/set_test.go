@@ -1,0 +1,160 @@
+package iputil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	a := MustParseAddr("192.0.2.1")
+	if !s.Add(a) {
+		t.Error("first Add should report true")
+	}
+	if s.Add(a) {
+		t.Error("second Add should report false")
+	}
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Error("membership broken")
+	}
+	s.Remove(a)
+	if s.Contains(a) || s.Len() != 0 {
+		t.Error("Remove broken")
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := SetOf(1, 2, 3, 4)
+	b := SetOf(3, 4, 5)
+	got := a.Intersect(b)
+	if got.Len() != 2 || !got.Contains(3) || !got.Contains(4) {
+		t.Errorf("Intersect = %v", got.Sorted())
+	}
+	// Symmetric.
+	got2 := b.Intersect(a)
+	if got2.Len() != got.Len() {
+		t.Error("Intersect not symmetric")
+	}
+}
+
+func TestSetSorted(t *testing.T) {
+	s := SetOf(9, 3, 7, 1)
+	got := s.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestSetAddSet(t *testing.T) {
+	a := SetOf(1, 2)
+	a.AddSet(SetOf(2, 3))
+	if a.Len() != 3 {
+		t.Errorf("union size = %d", a.Len())
+	}
+}
+
+func TestSetSlash24s(t *testing.T) {
+	s := SetOf(
+		MustParseAddr("10.0.0.1"),
+		MustParseAddr("10.0.0.200"),
+		MustParseAddr("10.0.1.1"),
+	)
+	ps := s.Slash24s()
+	if ps.Len() != 2 {
+		t.Errorf("want 2 /24s, got %d", ps.Len())
+	}
+	if !ps.Contains(MustParsePrefix("10.0.0.0/24")) {
+		t.Error("missing 10.0.0.0/24")
+	}
+}
+
+func TestPrefixSetCovers(t *testing.T) {
+	ps := NewPrefixSet()
+	ps.Add(MustParsePrefix("10.0.0.0/8"))
+	ps.Add(MustParsePrefix("192.0.2.0/24"))
+	cases := []struct {
+		addr string
+		want bool
+	}{
+		{"10.200.3.4", true},
+		{"192.0.2.99", true},
+		{"192.0.3.1", false},
+		{"11.0.0.1", false},
+	}
+	for _, c := range cases {
+		if got := ps.Covers(MustParseAddr(c.addr)); got != c.want {
+			t.Errorf("Covers(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSetSorted(t *testing.T) {
+	ps := NewPrefixSet()
+	ps.Add(MustParsePrefix("10.0.0.0/24"))
+	ps.Add(MustParsePrefix("9.0.0.0/8"))
+	ps.Add(MustParsePrefix("10.0.0.0/16"))
+	got := ps.Sorted()
+	want := []string{"9.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24"}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Errorf("Sorted[%d] = %v, want %s", i, got[i], w)
+		}
+	}
+}
+
+func TestSetIntersectRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := NewSet(), NewSet()
+	naive := map[Addr]int{}
+	for i := 0; i < 2000; i++ {
+		addr := Addr(rng.Intn(500))
+		if rng.Intn(2) == 0 {
+			if a.Add(addr) {
+				naive[addr] |= 1
+			}
+		} else {
+			if b.Add(addr) {
+				naive[addr] |= 2
+			}
+		}
+	}
+	want := 0
+	for _, bits := range naive {
+		if bits == 3 {
+			want++
+		}
+	}
+	if got := a.Intersect(b).Len(); got != want {
+		t.Errorf("Intersect len = %d, want %d", got, want)
+	}
+}
+
+// TestPrefixSetCoversAgainstLinear cross-checks Covers against a brute-force
+// scan over random mixed-length prefix sets.
+func TestPrefixSetCoversAgainstLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		ps := NewPrefixSet()
+		var list []Prefix
+		for i := 0; i < 50; i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), 8+rng.Intn(25))
+			ps.Add(p)
+			list = append(list, p)
+		}
+		for i := 0; i < 500; i++ {
+			a := Addr(rng.Uint32())
+			want := false
+			for _, p := range list {
+				if p.Contains(a) {
+					want = true
+					break
+				}
+			}
+			if got := ps.Covers(a); got != want {
+				t.Fatalf("Covers(%v) = %v, want %v", a, got, want)
+			}
+		}
+	}
+}

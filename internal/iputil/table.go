@@ -1,0 +1,102 @@
+package iputil
+
+// Table is a longest-prefix-match table mapping prefixes to values. It is a
+// binary trie keyed on address bits; lookups walk at most 32 nodes. The zero
+// value is not ready for use; construct with NewTable.
+//
+// The analysis pipeline uses it to map addresses to the AS (and prefix kind)
+// that originates them.
+type Table[V any] struct {
+	root *trieNode[V]
+	n    int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{root: &trieNode[V]{}}
+}
+
+// Insert associates v with p, replacing any previous value at exactly p.
+func (t *Table[V]) Insert(p Prefix, v V) {
+	n := t.root
+	base := uint32(p.Base())
+	for i := 0; i < p.Bits(); i++ {
+		bit := base >> (31 - uint(i)) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode[V]{}
+		}
+		n = n.child[bit]
+	}
+	if !n.set {
+		t.n++
+	}
+	n.val, n.set = v, true
+}
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Table[V]) Lookup(a Addr) (v V, ok bool) {
+	n := t.root
+	bits := uint32(a)
+	for i := 0; i <= 32; i++ {
+		if n.set {
+			v, ok = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		bit := bits >> (31 - uint(i)) & 1
+		if n.child[bit] == nil {
+			break
+		}
+		n = n.child[bit]
+	}
+	return v, ok
+}
+
+// LookupPrefix returns the value stored at exactly p.
+func (t *Table[V]) LookupPrefix(p Prefix) (v V, ok bool) {
+	n := t.root
+	base := uint32(p.Base())
+	for i := 0; i < p.Bits(); i++ {
+		bit := base >> (31 - uint(i)) & 1
+		if n.child[bit] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[bit]
+	}
+	return n.val, n.set
+}
+
+// Len returns the number of stored prefixes.
+func (t *Table[V]) Len() int { return t.n }
+
+// Walk visits every stored (prefix, value) pair in address order. The walk
+// stops early if fn returns false.
+func (t *Table[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Table[V]) walk(n *trieNode[V], base uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(PrefixFrom(Addr(base), depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], base, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], base|1<<(31-uint(depth)), depth+1, fn)
+}

@@ -1,0 +1,131 @@
+package iputil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTableLongestMatch(t *testing.T) {
+	tbl := NewTable[string]()
+	tbl.Insert(MustParsePrefix("10.0.0.0/8"), "coarse")
+	tbl.Insert(MustParsePrefix("10.1.0.0/16"), "mid")
+	tbl.Insert(MustParsePrefix("10.1.2.0/24"), "fine")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "fine", true},
+		{"10.1.9.9", "mid", true},
+		{"10.200.0.1", "coarse", true},
+		{"11.0.0.1", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q, %v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	tbl := NewTable[int]()
+	tbl.Insert(MustParsePrefix("0.0.0.0/0"), 42)
+	got, ok := tbl.Lookup(MustParseAddr("203.0.113.1"))
+	if !ok || got != 42 {
+		t.Errorf("default route lookup = %d, %v", got, ok)
+	}
+}
+
+func TestTableReplaceAndLen(t *testing.T) {
+	tbl := NewTable[int]()
+	p := MustParsePrefix("192.0.2.0/24")
+	tbl.Insert(p, 1)
+	tbl.Insert(p, 2)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+	if v, ok := tbl.LookupPrefix(p); !ok || v != 2 {
+		t.Errorf("LookupPrefix = %d, %v", v, ok)
+	}
+}
+
+func TestTableLookupPrefixMiss(t *testing.T) {
+	tbl := NewTable[int]()
+	tbl.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	if _, ok := tbl.LookupPrefix(MustParsePrefix("10.0.0.0/16")); ok {
+		t.Error("LookupPrefix should be exact, not LPM")
+	}
+}
+
+func TestTableWalkOrder(t *testing.T) {
+	tbl := NewTable[int]()
+	prefixes := []string{"10.0.0.0/24", "9.0.0.0/8", "10.0.0.0/16", "192.0.2.0/24"}
+	for i, s := range prefixes {
+		tbl.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tbl.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"9.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24", "192.0.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Walk[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableWalkEarlyStop(t *testing.T) {
+	tbl := NewTable[int]()
+	tbl.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tbl.Insert(MustParsePrefix("11.0.0.0/8"), 2)
+	count := 0
+	tbl.Walk(func(Prefix, int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d nodes", count)
+	}
+}
+
+// TestTableAgainstLinearScan cross-checks LPM lookups against a brute-force
+// linear scan over random prefix tables.
+func TestTableAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type entry struct {
+		p Prefix
+		v int
+	}
+	tbl := NewTable[int]()
+	var entries []entry
+	seen := map[Prefix]bool{}
+	for i := 0; i < 300; i++ {
+		p := PrefixFrom(Addr(rng.Uint32()), 8+rng.Intn(17))
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		tbl.Insert(p, i)
+		entries = append(entries, entry{p, i})
+	}
+	for i := 0; i < 2000; i++ {
+		a := Addr(rng.Uint32())
+		bestBits, bestVal, found := -1, 0, false
+		for _, e := range entries {
+			if e.p.Contains(a) && e.p.Bits() > bestBits {
+				bestBits, bestVal, found = e.p.Bits(), e.v, true
+			}
+		}
+		got, ok := tbl.Lookup(a)
+		if ok != found || (ok && got != bestVal) {
+			t.Fatalf("Lookup(%v) = %d, %v; want %d, %v", a, got, ok, bestVal, found)
+		}
+	}
+}

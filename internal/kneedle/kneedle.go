@@ -1,0 +1,204 @@
+// Package kneedle implements the "kneedle" knee/elbow point detector of
+// Satopää, Albrecht, Irwin and Raghavan, "Finding a 'Kneedle' in a Haystack:
+// Detecting Knee Points in System Behavior" (ICDCSW 2011).
+//
+// The paper under reproduction uses this algorithm to pick the allocation
+// count threshold (eight addresses) that separates RIPE Atlas probes with
+// frequent address changes from the rest (Fig 2).
+package kneedle
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Curve declares whether the data is concave ("knee", diminishing returns)
+// or convex ("elbow").
+type Curve int
+
+// Curve shapes.
+const (
+	Concave Curve = iota // increasing, flattening — classic knee
+	Convex               // increasing returns — elbow
+)
+
+// Options tune the detector.
+type Options struct {
+	Curve Curve
+	// Decreasing marks data sorted in decreasing y order (like Fig 2's
+	// sorted per-probe allocation counts); the detector flips it.
+	Decreasing bool
+	// Sensitivity is the S parameter from the paper; larger values demand
+	// a more pronounced knee. Values <= 0 default to 1.
+	Sensitivity float64
+	// Smooth applies a small moving-average window before normalising;
+	// 0 disables smoothing.
+	Smooth int
+	// LogY takes log10 of the y values before normalising — appropriate
+	// when the knee is judged on a log-scale plot, as in the paper's
+	// Fig 2.
+	LogY bool
+}
+
+// ErrNoKnee is returned when no knee satisfies the sensitivity threshold.
+var ErrNoKnee = errors.New("kneedle: no knee point found")
+
+// ErrTooShort is returned for inputs with fewer than three points.
+var ErrTooShort = errors.New("kneedle: need at least 3 points")
+
+// Find locates the knee of y(x) and returns the index into the input slices.
+// x must be strictly increasing and len(x) == len(y).
+func Find(x, y []float64, opt Options) (int, error) {
+	n := len(x)
+	if n != len(y) {
+		return 0, errors.New("kneedle: mismatched slice lengths")
+	}
+	if n < 3 {
+		return 0, ErrTooShort
+	}
+	for i := 1; i < n; i++ {
+		if x[i] <= x[i-1] {
+			return 0, errors.New("kneedle: x must be strictly increasing")
+		}
+	}
+	if opt.Sensitivity <= 0 {
+		opt.Sensitivity = 1
+	}
+
+	ys := make([]float64, n)
+	copy(ys, y)
+	if opt.LogY {
+		for i, v := range ys {
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			ys[i] = math.Log10(v)
+		}
+	}
+	if opt.Decreasing {
+		// Flip vertically so the curve increases; knee index is preserved
+		// because we only flip y values, not order.
+		ymin, ymax := minMax(ys)
+		for i := range ys {
+			ys[i] = ymax + ymin - ys[i]
+		}
+	}
+	if opt.Smooth > 1 {
+		ys = movingAverage(ys, opt.Smooth)
+	}
+
+	// Normalise both axes to [0, 1].
+	xn := normalize(x)
+	yn := normalize(ys)
+
+	// Difference curve. For concave increasing data the knee is the max of
+	// y - x; for convex data it is the max of x - y.
+	diff := make([]float64, n)
+	for i := range diff {
+		if opt.Curve == Concave {
+			diff[i] = yn[i] - xn[i]
+		} else {
+			diff[i] = xn[i] - yn[i]
+		}
+	}
+
+	// Candidate knees are local maxima of the difference curve. The paper's
+	// threshold drops each candidate by S times the mean x-spacing.
+	meanDx := 1.0 / float64(n-1)
+	bestIdx, bestVal := -1, math.Inf(-1)
+	for i := 1; i < n-1; i++ {
+		if diff[i] >= diff[i-1] && diff[i] >= diff[i+1] {
+			threshold := diff[i] - opt.Sensitivity*meanDx
+			// The candidate is confirmed if the difference curve drops
+			// below the threshold before the next local maximum.
+			for j := i + 1; j < n; j++ {
+				if diff[j] > diff[i] {
+					break // superseded by a later, larger maximum
+				}
+				if diff[j] < threshold {
+					if diff[i] > bestVal {
+						bestIdx, bestVal = i, diff[i]
+					}
+					break
+				}
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, ErrNoKnee
+	}
+	return bestIdx, nil
+}
+
+// FindSortedCounts is the Fig 2 convenience: given per-item counts sorted in
+// ascending item order is not meaningful, so the caller passes raw counts;
+// the function sorts them descending (as the figure plots), finds the knee of
+// the decreasing curve, and returns the count value at the knee.
+func FindSortedCounts(counts []int, opt Options) (kneeValue int, kneeIndex int, err error) {
+	if len(counts) < 3 {
+		return 0, 0, ErrTooShort
+	}
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	x := make([]float64, len(sorted))
+	y := make([]float64, len(sorted))
+	for i, c := range sorted {
+		x[i] = float64(i + 1)
+		y[i] = float64(c)
+	}
+	opt.Decreasing = true
+	opt.Curve = Concave
+	idx, err := Find(x, y, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sorted[idx], idx, nil
+}
+
+func normalize(v []float64) []float64 {
+	lo, hi := minMax(v)
+	out := make([]float64, len(v))
+	if hi == lo {
+		return out
+	}
+	for i, x := range v {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func movingAverage(v []float64, window int) []float64 {
+	out := make([]float64, len(v))
+	half := window / 2
+	for i := range v {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(v) {
+			hi = len(v) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += v[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

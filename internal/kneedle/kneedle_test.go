@@ -1,0 +1,153 @@
+package kneedle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// A clean concave curve y = sqrt(x) on [0, 100] has its normalised knee
+// where d/dx (sqrt(x)/10 - x/100) = 0 => x = 25.
+func TestFindConcaveKnee(t *testing.T) {
+	var x, y []float64
+	for i := 0; i <= 100; i++ {
+		x = append(x, float64(i))
+		y = append(y, math.Sqrt(float64(i)))
+	}
+	idx, err := Find(x, y, Options{Curve: Concave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[idx] < 15 || x[idx] > 35 {
+		t.Errorf("knee at x=%v, want near 25", x[idx])
+	}
+}
+
+func TestFindConvexElbow(t *testing.T) {
+	var x, y []float64
+	for i := 0; i <= 100; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)*float64(i)/100)
+	}
+	idx, err := Find(x, y, Options{Curve: Convex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the normalised curve the maximum of x - y sits at x = 50.
+	if x[idx] < 40 || x[idx] > 60 {
+		t.Errorf("elbow at x=%v, want near 50", x[idx])
+	}
+}
+
+func TestFindDecreasing(t *testing.T) {
+	// A decreasing hyperbolic curve like Fig 2: y = 1000/x.
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 1000/float64(i))
+	}
+	idx, err := Find(x, y, Options{Curve: Concave, Decreasing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 2 || idx > 40 {
+		t.Errorf("knee index %d, want small (steep drop early)", idx)
+	}
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find([]float64{1, 2}, []float64{1, 2}, Options{}); err != ErrTooShort {
+		t.Errorf("short input: %v", err)
+	}
+	if _, err := Find([]float64{1, 2, 3}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := Find([]float64{1, 1, 2}, []float64{1, 2, 3}, Options{}); err == nil {
+		t.Error("non-increasing x should error")
+	}
+	// A straight line has no knee.
+	x := []float64{1, 2, 3, 4, 5}
+	if _, err := Find(x, x, Options{}); err != ErrNoKnee {
+		t.Errorf("line: %v", err)
+	}
+}
+
+func TestFindSortedCountsFig2Shape(t *testing.T) {
+	// Reproduce the Fig 2 shape: most probes have 1 allocation, a minority
+	// have many. The knee should land in the transition region.
+	rng := rand.New(rand.NewSource(42))
+	var counts []int
+	for i := 0; i < 9300; i++ { // 59% with no change -> 1 address
+		counts = append(counts, 1)
+	}
+	for i := 0; i < 2000; i++ { // moderate churners
+		counts = append(counts, 2+rng.Intn(5))
+	}
+	for i := 0; i < 2600; i++ { // heavy churners, heavy tail
+		counts = append(counts, 8+int(math.Floor(rng.ExpFloat64()*60)))
+	}
+	knee, idx, err := FindSortedCounts(counts, Options{Sensitivity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee < 2 || knee > 40 {
+		t.Errorf("knee value = %d (idx %d), want in the single-digit to tens region", knee, idx)
+	}
+}
+
+func TestFindSortedCountsTooShort(t *testing.T) {
+	if _, _, err := FindSortedCounts([]int{1, 2}, Options{}); err != ErrTooShort {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSmoothingDoesNotCrash(t *testing.T) {
+	var x, y []float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i <= 100; i++ {
+		x = append(x, float64(i))
+		y = append(y, math.Sqrt(float64(i))+rng.Float64()*0.3)
+	}
+	idx, err := Find(x, y, Options{Curve: Concave, Smooth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[idx] < 5 || x[idx] > 60 {
+		t.Errorf("noisy knee at x=%v", x[idx])
+	}
+}
+
+func TestSensitivityMonotonic(t *testing.T) {
+	// Higher sensitivity can only reject knees, never invent them.
+	var x, y []float64
+	for i := 0; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, math.Sqrt(float64(i)))
+	}
+	if _, err := Find(x, y, Options{Sensitivity: 1}); err != nil {
+		t.Fatalf("S=1: %v", err)
+	}
+	// A huge S should reject.
+	if _, err := Find(x, y, Options{Sensitivity: 1000}); err != ErrNoKnee {
+		t.Errorf("S=1000: %v, want ErrNoKnee", err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	got := movingAverage([]float64{0, 3, 6}, 3)
+	want := []float64{1.5, 3, 4.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("movingAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	out := normalize([]float64{5, 5, 5})
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant input should normalise to zeros, got %v", out)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package krpc
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary datagrams to the KRPC decoder: no panics,
+// and accepted messages must survive a marshal/unmarshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	var id NodeID
+	ping, _ := NewPing("aa", id).Marshal()
+	fn, _ := NewFindNode("bb", id, id).Marshal()
+	resp, _ := NewFindNodeResponse("cc", id, []NodeInfo{{ID: id, Addr: 1, Port: 2}}, "v").Marshal()
+	errMsg, _ := NewError("dd", 201, "x").Marshal()
+	gp, _ := NewGetPeers("ee", id, id).Marshal()
+	ann, _ := NewAnnouncePeer("ff", id, id, 6881, "tok").Marshal()
+	for _, seed := range [][]byte{ping, fn, resp, errMsg, gp, ann, []byte("de"), []byte("i1e")} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			// Some decodable inputs aren't encodable (e.g. unknown query
+			// methods) — acceptable asymmetry.
+			return
+		}
+		if _, err := Unmarshal(enc); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package krpc
+
+import (
+	"fmt"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Peer is a compact peer contact (BEP 5 "values" entries): address and port
+// without a node ID.
+type Peer struct {
+	Addr iputil.Addr
+	Port uint16
+}
+
+// CompactPeerLen is the wire size of one compact peer entry.
+const CompactPeerLen = 6
+
+// MarshalCompactPeer renders one peer in 6-byte compact form.
+func MarshalCompactPeer(p Peer) []byte {
+	oct := p.Addr.Octets()
+	return []byte{oct[0], oct[1], oct[2], oct[3], byte(p.Port >> 8), byte(p.Port)}
+}
+
+// UnmarshalCompactPeer parses one 6-byte compact peer.
+func UnmarshalCompactPeer(data []byte) (Peer, error) {
+	if len(data) != CompactPeerLen {
+		return Peer{}, fmt.Errorf("krpc: compact peer must be %d bytes, got %d", CompactPeerLen, len(data))
+	}
+	return Peer{
+		Addr: iputil.AddrFrom4(data[0], data[1], data[2], data[3]),
+		Port: uint16(data[4])<<8 | uint16(data[5]),
+	}, nil
+}

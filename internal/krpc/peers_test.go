@@ -1,0 +1,121 @@
+package krpc
+
+import (
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func TestCompactPeerRoundTrip(t *testing.T) {
+	p := Peer{Addr: iputil.MustParseAddr("203.0.113.9"), Port: 51413}
+	data := MarshalCompactPeer(p)
+	if len(data) != CompactPeerLen {
+		t.Fatalf("len = %d", len(data))
+	}
+	back, err := UnmarshalCompactPeer(data)
+	if err != nil || back != p {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+	if _, err := UnmarshalCompactPeer(data[:5]); err == nil {
+		t.Error("short peer accepted")
+	}
+}
+
+func TestGetPeersRoundTrip(t *testing.T) {
+	self, hash := testID(1), testID(9)
+	q := NewGetPeers("tx", self, hash)
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != MethodGetPeers || m.Target != hash {
+		t.Errorf("get_peers round trip = %+v", m)
+	}
+}
+
+func TestGetPeersResponseRoundTrip(t *testing.T) {
+	self := testID(3)
+	peers := []Peer{
+		{Addr: iputil.MustParseAddr("10.0.0.1"), Port: 6881},
+		{Addr: iputil.MustParseAddr("10.0.0.2"), Port: 51413},
+	}
+	nodes := []NodeInfo{{ID: testID(4), Addr: iputil.MustParseAddr("10.0.0.3"), Port: 6881}}
+	r := NewGetPeersResponse("tx", self, peers, nodes, "secret-token", "v1")
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Peers) != 2 || m.Peers[1].Port != 51413 {
+		t.Errorf("peers = %+v", m.Peers)
+	}
+	if len(m.Nodes) != 1 || m.Token != "secret-token" {
+		t.Errorf("nodes/token = %+v / %q", m.Nodes, m.Token)
+	}
+}
+
+func TestAnnouncePeerRoundTrip(t *testing.T) {
+	self, hash := testID(2), testID(8)
+	q := NewAnnouncePeer("tx", self, hash, 40000, "tok")
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != MethodAnnouncePeer || m.Target != hash || m.AnnPort != 40000 ||
+		m.Token != "tok" || m.ImpliedPort {
+		t.Errorf("announce round trip = %+v", m)
+	}
+	// Implied-port variant.
+	q.ImpliedPort = true
+	data, err = q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ImpliedPort {
+		t.Error("implied_port lost in round trip")
+	}
+}
+
+func TestAnnouncePeerMalformed(t *testing.T) {
+	// Missing token.
+	var id NodeID
+	raw := "d1:ad2:id20:" + string(id[:]) + "9:info_hash20:" + string(id[:]) +
+		"4:porti6881ee1:q13:announce_peer1:t2:aa1:y1:qe"
+	if _, err := Unmarshal([]byte(raw)); err == nil {
+		t.Error("announce without token accepted")
+	}
+	// Out-of-range port.
+	raw = "d1:ad2:id20:" + string(id[:]) + "9:info_hash20:" + string(id[:]) +
+		"4:porti70000e5:token1:xe1:q13:announce_peer1:t2:aa1:y1:qe"
+	if _, err := Unmarshal([]byte(raw)); err == nil {
+		t.Error("announce with port 70000 accepted")
+	}
+}
+
+func TestGetPeersResponseBadValues(t *testing.T) {
+	var id NodeID
+	// "values" entries that are not 6-byte strings must be rejected.
+	raw := "d1:rd2:id20:" + string(id[:]) + "6:valuesl2:abee1:t2:aa1:y1:re"
+	if _, err := Unmarshal([]byte(raw)); err == nil {
+		t.Error("malformed compact peer accepted")
+	}
+	raw = "d1:rd2:id20:" + string(id[:]) + "6:valuesli5eee1:t2:aa1:y1:re"
+	if _, err := Unmarshal([]byte(raw)); err == nil {
+		t.Error("non-string peer value accepted")
+	}
+}

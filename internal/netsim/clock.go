@@ -1,0 +1,184 @@
+// Package netsim is a deterministic discrete-event simulator of an IPv4
+// datagram network. It provides virtual time, UDP-like lossy datagram
+// delivery with latency, address bindings, and NAT gateways with port
+// translation, mapping expiry and configurable filtering behaviour.
+//
+// The simulator exists so the paper's BitTorrent crawler can be exercised
+// against a synthetic Internet: months of simulated crawling execute in
+// milliseconds, identically on every run for a given seed.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the simulation start time; it matches the start of the paper's
+// RIPE Atlas observation window (1 Jan 2019).
+var Epoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock driving a single-threaded event loop. Events
+// scheduled for the same instant fire in scheduling order.
+type Clock struct {
+	now    time.Time
+	queue  eventQueue
+	nextID uint64
+}
+
+// NewClock returns a clock positioned at Epoch.
+func NewClock() *Clock {
+	return &Clock{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer; it reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Clock) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// At schedules fn at an absolute virtual time; times in the past fire on the
+// next step.
+func (c *Clock) At(t time.Time, fn func()) *Timer {
+	if t.Before(c.now) {
+		t = c.now
+	}
+	ev := &event{when: t, seq: c.nextID, fn: fn}
+	c.nextID++
+	heap.Push(&c.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event ran.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.when
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event lies
+// beyond t; the clock finishes at t (or later if an event fired exactly
+// there). It returns the number of events run.
+func (c *Clock) RunUntil(t time.Time) int {
+	n := 0
+	for {
+		ev := c.peek()
+		if ev == nil || ev.when.After(t) {
+			break
+		}
+		c.Step()
+		n++
+	}
+	if c.now.Before(t) {
+		c.now = t
+	}
+	return n
+}
+
+// RunFor advances the clock by d, running every event due in that window.
+func (c *Clock) RunFor(d time.Duration) int {
+	return c.RunUntil(c.now.Add(d))
+}
+
+// Drain runs events until none remain or limit events have run; limit <= 0
+// means no limit. It returns the number of events run.
+func (c *Clock) Drain(limit int) int {
+	n := 0
+	for c.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Clock) peek() *event {
+	for c.queue.Len() > 0 {
+		ev := c.queue[0]
+		if ev.cancelled {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+type event struct {
+	when      time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+
+func (q *eventQueue) Push(x interface{}) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

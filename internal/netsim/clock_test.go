@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(2*time.Second, func() { order = append(order, 2) })
+	c.After(1*time.Second, func() { order = append(order, 1) })
+	c.After(3*time.Second, func() { order = append(order, 3) })
+	c.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if got := c.Now().Sub(Epoch); got != 3*time.Second {
+		t.Errorf("final time = %v", got)
+	}
+}
+
+func TestClockSameInstantFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.After(time.Second, func() { order = append(order, i) })
+	}
+	c.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.After(time.Second, func() {
+		c.After(time.Second, func() { fired = true })
+	})
+	c.RunFor(1500 * time.Millisecond)
+	if fired {
+		t.Error("inner event fired too early")
+	}
+	c.RunFor(time.Second)
+	if !fired {
+		t.Error("inner event did not fire")
+	}
+}
+
+func TestClockRunUntilAdvancesTime(t *testing.T) {
+	c := NewClock()
+	target := Epoch.Add(time.Hour)
+	if n := c.RunUntil(target); n != 0 {
+		t.Errorf("ran %d events on empty queue", n)
+	}
+	if !c.Now().Equal(target) {
+		t.Errorf("Now = %v, want %v", c.Now(), target)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewClock()
+	fired := false
+	tm := c.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	c.Drain(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d", c.Pending())
+	}
+}
+
+func TestClockPastEventClamps(t *testing.T) {
+	c := NewClock()
+	c.RunUntil(Epoch.Add(time.Minute))
+	fired := false
+	c.At(Epoch, func() { fired = true }) // in the past
+	c.Step()
+	if !fired {
+		t.Error("past event should fire immediately")
+	}
+	if c.Now().Before(Epoch.Add(time.Minute)) {
+		t.Error("clock went backwards")
+	}
+}
+
+func TestClockDrainLimit(t *testing.T) {
+	c := NewClock()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		c.After(time.Second, reschedule)
+	}
+	c.After(time.Second, reschedule)
+	if n := c.Drain(10); n != 10 {
+		t.Errorf("Drain ran %d events", n)
+	}
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.After(-time.Hour, func() { fired = true })
+	c.Step()
+	if !fired {
+		t.Error("negative delay should fire immediately")
+	}
+}

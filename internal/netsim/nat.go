@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Filtering selects the NAT's inbound filtering behaviour (RFC 4787 terms).
+type Filtering int
+
+// NAT filtering modes.
+const (
+	// FullCone (endpoint-independent filtering): once a mapping exists,
+	// any external host may send to it. DHT nodes behind such NATs are
+	// reachable by the crawler's unsolicited bt_ping.
+	FullCone Filtering = iota
+	// AddressRestricted: inbound packets are accepted only from external
+	// addresses the internal host has previously contacted. The crawler's
+	// unsolicited pings are filtered unless the node has talked to the
+	// crawler before — a major source of crawler under-counting.
+	AddressRestricted
+)
+
+// NATConfig tunes a NAT gateway.
+type NATConfig struct {
+	// PublicAddr is the gateway's single public address — the address the
+	// paper's crawler would (or would not) flag as NATed.
+	PublicAddr iputil.Addr
+	// Filtering selects the inbound filtering mode.
+	Filtering Filtering
+	// MappingTTL is the idle timeout after which a port mapping expires;
+	// expired mappings force the internal host onto a fresh public port,
+	// producing the "port changed / stale info" confound of §3.1.
+	MappingTTL time.Duration
+	// FirstPort is the first external port handed out; mappings use
+	// consecutive ports (wrapping) like many CPE NAT implementations.
+	FirstPort uint16
+}
+
+// NAT is a network address translator fronting any number of internal hosts
+// with a single public address.
+type NAT struct {
+	net   *Network
+	cfg   NATConfig
+	next  uint16
+	byExt map[uint16]*mapping                  // external port -> mapping
+	byInt map[internalKey]*mapping             // internal endpoint -> mapping
+	socks map[internalKey]*natSocket           // bound internal sockets
+	peers map[internalKey]map[iputil.Addr]bool // contacted external addrs (for filtering)
+}
+
+type internalKey struct {
+	addr iputil.Addr // private address of the internal host
+	port uint16
+}
+
+type mapping struct {
+	intKey   internalKey
+	extPort  uint16
+	lastUsed time.Time
+}
+
+// NewNAT registers a NAT gateway on the network. The public address must not
+// already be bound or fronted by another NAT.
+func NewNAT(n *Network, cfg NATConfig) (*NAT, error) {
+	if _, exists := n.nats[cfg.PublicAddr]; exists {
+		return nil, fmt.Errorf("netsim: NAT already present at %s", cfg.PublicAddr)
+	}
+	for ep := range n.bindings {
+		if ep.Addr == cfg.PublicAddr {
+			return nil, fmt.Errorf("netsim: %s already has direct bindings", cfg.PublicAddr)
+		}
+	}
+	if cfg.MappingTTL <= 0 {
+		cfg.MappingTTL = 10 * time.Minute
+	}
+	if cfg.FirstPort == 0 {
+		cfg.FirstPort = 1024
+	}
+	nat := &NAT{
+		net:   n,
+		cfg:   cfg,
+		next:  cfg.FirstPort,
+		byExt: make(map[uint16]*mapping),
+		byInt: make(map[internalKey]*mapping),
+		socks: make(map[internalKey]*natSocket),
+		peers: make(map[internalKey]map[iputil.Addr]bool),
+	}
+	n.nats[cfg.PublicAddr] = nat
+	return nat, nil
+}
+
+// PublicAddr returns the NAT's public address.
+func (nat *NAT) PublicAddr() iputil.Addr { return nat.cfg.PublicAddr }
+
+// Listen binds an internal (private) endpoint behind the NAT.
+func (nat *NAT) Listen(privateAddr iputil.Addr, privatePort uint16) (Socket, error) {
+	key := internalKey{privateAddr, privatePort}
+	if _, used := nat.socks[key]; used {
+		return nil, fmt.Errorf("%w: internal %s:%d", ErrBound, privateAddr, privatePort)
+	}
+	s := &natSocket{nat: nat, key: key}
+	nat.socks[key] = s
+	return s, nil
+}
+
+// ActiveMappings returns the number of unexpired port mappings.
+func (nat *NAT) ActiveMappings() int {
+	now := nat.net.clock.Now()
+	n := 0
+	for _, m := range nat.byExt {
+		if !nat.expired(m, now) {
+			n++
+		}
+	}
+	return n
+}
+
+func (nat *NAT) expired(m *mapping, now time.Time) bool {
+	return now.Sub(m.lastUsed) > nat.cfg.MappingTTL
+}
+
+func (nat *NAT) hasMapping(extPort uint16) bool {
+	m, ok := nat.byExt[extPort]
+	return ok && !nat.expired(m, nat.net.clock.Now())
+}
+
+// outbound handles a datagram from an internal socket: allocate or refresh
+// the mapping and transmit from the public endpoint.
+func (nat *NAT) outbound(key internalKey, to Endpoint, payload []byte) {
+	now := nat.net.clock.Now()
+	m, ok := nat.byInt[key]
+	if ok && nat.expired(m, now) {
+		nat.dropMapping(m)
+		ok = false
+	}
+	if !ok {
+		m = nat.allocate(key, now)
+		if m == nil {
+			nat.net.stats.NoRoute++ // port space exhausted
+			return
+		}
+	}
+	m.lastUsed = now
+	if nat.cfg.Filtering == AddressRestricted {
+		set := nat.peers[key]
+		if set == nil {
+			set = make(map[iputil.Addr]bool)
+			nat.peers[key] = set
+		}
+		set[to.Addr] = true
+	}
+	nat.net.transmit(Endpoint{nat.cfg.PublicAddr, m.extPort}, to, payload)
+}
+
+// inbound handles a datagram arriving at the public address.
+func (nat *NAT) inbound(from, to Endpoint, payload []byte) {
+	now := nat.net.clock.Now()
+	m, ok := nat.byExt[to.Port]
+	if !ok || nat.expired(m, now) {
+		if ok {
+			nat.dropMapping(m)
+		}
+		nat.net.stats.NoRoute++
+		nat.net.trace(TraceNoRoute, from, to, len(payload))
+		return
+	}
+	if nat.cfg.Filtering == AddressRestricted && !nat.peers[m.intKey][from.Addr] {
+		nat.net.stats.NoRoute++
+		nat.net.trace(TraceNoRoute, from, to, len(payload))
+		return
+	}
+	s, ok := nat.socks[m.intKey]
+	if !ok || s.handler == nil {
+		nat.net.stats.NoRoute++
+		nat.net.trace(TraceNoRoute, from, to, len(payload))
+		return
+	}
+	// Inbound traffic does not refresh consumer NAT mappings; only
+	// outbound does. This asymmetry is what makes stale crawler state
+	// realistic.
+	nat.net.stats.Delivered++
+	nat.net.trace(TraceDeliver, from, to, len(payload))
+	s.handler(from, payload)
+}
+
+func (nat *NAT) allocate(key internalKey, now time.Time) *mapping {
+	for tries := 0; tries < 65536; tries++ {
+		port := nat.next
+		nat.next++
+		if nat.next == 0 {
+			nat.next = nat.cfg.FirstPort
+		}
+		if port == 0 {
+			continue
+		}
+		if old, used := nat.byExt[port]; used {
+			if !nat.expired(old, now) {
+				continue
+			}
+			nat.dropMapping(old)
+		}
+		m := &mapping{intKey: key, extPort: port, lastUsed: now}
+		nat.byExt[port] = m
+		nat.byInt[key] = m
+		return m
+	}
+	return nil
+}
+
+func (nat *NAT) dropMapping(m *mapping) {
+	delete(nat.byExt, m.extPort)
+	if cur, ok := nat.byInt[m.intKey]; ok && cur == m {
+		delete(nat.byInt, m.intKey)
+	}
+}
+
+type natSocket struct {
+	nat     *NAT
+	key     internalKey
+	handler Handler
+	closed  bool
+}
+
+func (s *natSocket) Send(to Endpoint, payload []byte) {
+	if s.closed {
+		return
+	}
+	s.nat.outbound(s.key, to, payload)
+}
+
+func (s *natSocket) SetHandler(h Handler) { s.handler = h }
+
+func (s *natSocket) PublicEndpoint() (Endpoint, bool) {
+	m, ok := s.nat.byInt[s.key]
+	if !ok || s.nat.expired(m, s.nat.net.clock.Now()) {
+		return Endpoint{}, false
+	}
+	return Endpoint{s.nat.cfg.PublicAddr, m.extPort}, true
+}
+
+func (s *natSocket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.nat.socks, s.key)
+	if m, ok := s.nat.byInt[s.key]; ok {
+		s.nat.dropMapping(m)
+	}
+	delete(s.nat.peers, s.key)
+}

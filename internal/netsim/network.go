@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Endpoint is a (public address, UDP port) pair.
+type Endpoint struct {
+	Addr iputil.Addr
+	Port uint16
+}
+
+// String renders "a.b.c.d:port".
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%s:%d", e.Addr, e.Port)
+}
+
+// Handler receives a datagram delivered to a socket. from is the source
+// endpoint as visible on the public network (i.e. after any NAT rewriting).
+type Handler func(from Endpoint, payload []byte)
+
+// Socket is a bound UDP-like endpoint on the simulated network. Sockets are
+// either directly bound public endpoints (Network.Listen) or internal
+// endpoints behind a NAT (NAT.Listen).
+type Socket interface {
+	// Send transmits payload to a public endpoint.
+	Send(to Endpoint, payload []byte)
+	// SetHandler installs the receive callback; it must be set before any
+	// datagram arrives or deliveries are dropped.
+	SetHandler(Handler)
+	// PublicEndpoint returns the externally visible endpoint, which for
+	// NATed sockets is the current NAT mapping (allocated on first send).
+	// ok is false when no mapping exists yet.
+	PublicEndpoint() (Endpoint, bool)
+	// Close unbinds the socket.
+	Close()
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int64 // datagrams submitted
+	Delivered int64 // datagrams handed to a handler
+	Dropped   int64 // lost in transit (random loss)
+	NoRoute   int64 // destination not bound / NAT drop
+}
+
+// TraceKind classifies a traced datagram event.
+type TraceKind byte
+
+// Trace event kinds.
+const (
+	TraceSend    TraceKind = 'S' // datagram submitted to the fabric
+	TraceDrop    TraceKind = 'D' // lost to random loss
+	TraceDeliver TraceKind = 'R' // handed to a receiver
+	TraceNoRoute TraceKind = 'X' // destination unbound or filtered
+)
+
+// TraceEvent describes one fabric event for a Tracer.
+type TraceEvent struct {
+	At   time.Time
+	Kind TraceKind
+	From Endpoint
+	To   Endpoint
+	Size int
+}
+
+// Tracer observes fabric events; install via Config.Trace. Tracers must not
+// mutate the network.
+type Tracer func(TraceEvent)
+
+// Config tunes the network fabric.
+type Config struct {
+	// Loss is the independent drop probability per datagram in [0, 1).
+	Loss float64
+	// LatencyBase and LatencyJitter shape one-way delay: base plus a
+	// uniformly random jitter.
+	LatencyBase   time.Duration
+	LatencyJitter time.Duration
+	// Seed feeds the network's private RNG.
+	Seed int64
+	// Trace, when set, observes every send/drop/deliver/no-route event —
+	// the simulator's tcpdump.
+	Trace Tracer
+}
+
+// Network simulates the public IPv4 fabric: bindings, loss, latency, NATs.
+// All methods must be called from the event loop goroutine (the simulator is
+// single-threaded by design — that is what makes runs reproducible).
+type Network struct {
+	clock    *Clock
+	rng      *rand.Rand
+	cfg      Config
+	bindings map[Endpoint]*binding
+	nats     map[iputil.Addr]*NAT
+	stats    Stats
+}
+
+type binding struct {
+	ep      Endpoint
+	handler Handler
+	net     *Network
+	closed  bool
+}
+
+// NewNetwork builds an empty network on the given clock.
+func NewNetwork(clock *Clock, cfg Config) *Network {
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		panic("netsim: loss must be in [0, 1)")
+	}
+	return &Network{
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		bindings: make(map[Endpoint]*binding),
+		nats:     make(map[iputil.Addr]*NAT),
+	}
+}
+
+// Clock returns the network's clock.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ErrBound is returned when binding an endpoint that is already in use.
+var ErrBound = errors.New("netsim: endpoint already bound")
+
+// Listen binds a public endpoint and returns its socket.
+func (n *Network) Listen(ep Endpoint) (Socket, error) {
+	if _, used := n.bindings[ep]; used {
+		return nil, fmt.Errorf("%w: %s", ErrBound, ep)
+	}
+	if _, natted := n.nats[ep.Addr]; natted {
+		return nil, fmt.Errorf("netsim: %s is a NAT public address", ep.Addr)
+	}
+	b := &binding{ep: ep, net: n}
+	n.bindings[ep] = b
+	return b, nil
+}
+
+// Bound reports whether the endpoint is currently bound (directly or as an
+// active NAT mapping).
+func (n *Network) Bound(ep Endpoint) bool {
+	if _, ok := n.bindings[ep]; ok {
+		return true
+	}
+	if nat, ok := n.nats[ep.Addr]; ok {
+		return nat.hasMapping(ep.Port)
+	}
+	return false
+}
+
+func (b *binding) Send(to Endpoint, payload []byte) {
+	b.net.transmit(b.ep, to, payload)
+}
+
+func (b *binding) SetHandler(h Handler) { b.handler = h }
+
+func (b *binding) PublicEndpoint() (Endpoint, bool) { return b.ep, true }
+
+func (b *binding) Close() {
+	if !b.closed {
+		b.closed = true
+		delete(b.net.bindings, b.ep)
+	}
+}
+
+func (n *Network) trace(kind TraceKind, from, to Endpoint, size int) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace(TraceEvent{At: n.clock.Now(), Kind: kind, From: from, To: to, Size: size})
+	}
+}
+
+// transmit moves a datagram across the fabric: apply loss, delay, then route.
+func (n *Network) transmit(from, to Endpoint, payload []byte) {
+	n.stats.Sent++
+	n.trace(TraceSend, from, to, len(payload))
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		n.stats.Dropped++
+		n.trace(TraceDrop, from, to, len(payload))
+		return
+	}
+	delay := n.cfg.LatencyBase
+	if n.cfg.LatencyJitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.LatencyJitter)))
+	}
+	// Copy the payload so sender-side buffer reuse cannot corrupt
+	// in-flight datagrams.
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	n.clock.After(delay, func() {
+		n.deliver(from, to, data)
+	})
+}
+
+func (n *Network) deliver(from, to Endpoint, payload []byte) {
+	if nat, ok := n.nats[to.Addr]; ok {
+		nat.inbound(from, to, payload)
+		return
+	}
+	b, ok := n.bindings[to]
+	if !ok || b.handler == nil {
+		n.stats.NoRoute++
+		n.trace(TraceNoRoute, from, to, len(payload))
+		return
+	}
+	n.stats.Delivered++
+	n.trace(TraceDeliver, from, to, len(payload))
+	b.handler(from, payload)
+}

@@ -1,0 +1,100 @@
+// Package pfx2as reads and writes prefix-to-AS mappings in the Route
+// Views / CAIDA pfx2as text format: one "prefix length asn" triple per
+// line, whitespace separated. The analysis pipeline needs such a mapping to
+// aggregate blocklisted addresses per origin AS (Fig 3); users running the
+// tooling on real data feed it a real pfx2as snapshot, while cmd/blreport
+// derives one from the synthetic world.
+package pfx2as
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Table maps prefixes to origin AS numbers with longest-prefix-match
+// lookups.
+type Table struct {
+	trie *iputil.Table[int]
+	n    int
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{trie: iputil.NewTable[int]()}
+}
+
+// Add inserts one mapping.
+func (t *Table) Add(p iputil.Prefix, asn int) {
+	t.trie.Insert(p, asn)
+	t.n++
+}
+
+// Lookup returns the origin ASN of the longest matching prefix.
+func (t *Table) Lookup(a iputil.Addr) (int, bool) {
+	return t.trie.Lookup(a)
+}
+
+// Len returns the number of entries added.
+func (t *Table) Len() int { return t.n }
+
+// ASNOf adapts the table to the analysis.Inputs contract.
+func (t *Table) ASNOf(a iputil.Addr) (int, bool) { return t.Lookup(a) }
+
+// Parse reads pfx2as text. Lines are "<base> <len> <asn>"; '#' comments and
+// blank lines are skipped. Multi-origin entries like "174_3356" or "2914,3257"
+// keep the first ASN, as common practice does.
+func Parse(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("pfx2as: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		base, err := iputil.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: %w", line, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil || bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("pfx2as: line %d: bad prefix length %q", line, fields[1])
+		}
+		asnTok := fields[2]
+		if i := strings.IndexAny(asnTok, "_,"); i >= 0 {
+			asnTok = asnTok[:i]
+		}
+		asn, err := strconv.Atoi(asnTok)
+		if err != nil || asn < 0 {
+			return nil, fmt.Errorf("pfx2as: line %d: bad ASN %q", line, fields[2])
+		}
+		t.Add(iputil.PrefixFrom(base, bits), asn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Write renders the table in pfx2as text form, ordered by prefix.
+func Write(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	t.trie.Walk(func(p iputil.Prefix, asn int) bool {
+		_, err = fmt.Fprintf(bw, "%s\t%d\t%d\n", p.Base(), p.Bits(), asn)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

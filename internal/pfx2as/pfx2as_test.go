@@ -1,0 +1,90 @@
+package pfx2as
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func TestParseAndLookup(t *testing.T) {
+	in := `# routeviews-style snapshot
+1.0.0.0 24 13335
+8.0.0.0	8	3356
+8.8.8.0 24 15169
+9.0.0.0 8 174_3356
+10.0.0.0 8 2914,3257
+`
+	tbl, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 5 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	cases := []struct {
+		addr string
+		asn  int
+		ok   bool
+	}{
+		{"1.0.0.77", 13335, true},
+		{"8.8.8.8", 15169, true}, // longest match beats the /8
+		{"8.1.2.3", 3356, true},
+		{"9.9.9.9", 174, true},   // multi-origin keeps first
+		{"10.1.1.1", 2914, true}, // comma variant
+		{"2.2.2.2", 0, false},
+	}
+	for _, c := range cases {
+		asn, ok := tbl.Lookup(iputil.MustParseAddr(c.addr))
+		if ok != c.ok || asn != c.asn {
+			t.Errorf("Lookup(%s) = %d, %v; want %d, %v", c.addr, asn, ok, c.asn, c.ok)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"1.0.0.0 24\n",
+		"nope 24 1\n",
+		"1.0.0.0 33 1\n",
+		"1.0.0.0 x 1\n",
+		"1.0.0.0 24 -5\n",
+		"1.0.0.0 24 banana\n",
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	tbl := New()
+	tbl.Add(iputil.MustParsePrefix("10.0.0.0/8"), 64500)
+	tbl.Add(iputil.MustParsePrefix("192.0.2.0/24"), 64501)
+	var buf bytes.Buffer
+	if err := Write(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	if asn, ok := back.Lookup(iputil.MustParseAddr("192.0.2.7")); !ok || asn != 64501 {
+		t.Errorf("lookup after round trip = %d, %v", asn, ok)
+	}
+}
+
+func TestASNOfContract(t *testing.T) {
+	tbl := New()
+	tbl.Add(iputil.MustParsePrefix("10.0.0.0/8"), 7)
+	// ASNOf is usable as analysis.Inputs.ASNOf.
+	var fn func(iputil.Addr) (int, bool) = tbl.ASNOf
+	if asn, ok := fn(iputil.MustParseAddr("10.1.2.3")); !ok || asn != 7 {
+		t.Errorf("ASNOf = %d, %v", asn, ok)
+	}
+}

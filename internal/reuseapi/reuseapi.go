@@ -1,0 +1,195 @@
+// Package reuseapi serves a reused-address list over HTTP — the release
+// form of the paper's published artifact ("we make our techniques publicly
+// available and also publish a new address list that has all reused
+// addresses we detect", §1). Operators integrate it as a lookup service:
+//
+//	GET /v1/check?ip=192.0.2.7     -> JSON verdict (reused? how? users?)
+//	GET /v1/list                   -> the full plain-text list
+//	GET /v1/prefixes               -> dynamic prefixes, one CIDR per line
+//	GET /v1/stats                  -> dataset summary
+package reuseapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Dataset is the served reuse knowledge. Build one from a Study's report or
+// from files collected on disk.
+type Dataset struct {
+	// NATUsers maps NATed addresses to the crawler's user lower bound.
+	NATUsers map[iputil.Addr]int
+	// DynamicPrefixes are the RIPE pipeline's dynamic /24s.
+	DynamicPrefixes *iputil.PrefixSet
+	// Generated stamps the dataset build time.
+	Generated time.Time
+}
+
+// Verdict is the JSON answer of /v1/check.
+type Verdict struct {
+	IP      string `json:"ip"`
+	Reused  bool   `json:"reused"`
+	NATed   bool   `json:"nated"`
+	Dynamic bool   `json:"dynamic"`
+	// Users is the lower bound of simultaneous users for NATed addresses
+	// (0 otherwise).
+	Users int `json:"users,omitempty"`
+	// Prefix is the covering dynamic prefix, when Dynamic.
+	Prefix string `json:"prefix,omitempty"`
+	// Advice mirrors the paper's Section 6 guidance.
+	Advice string `json:"advice"`
+}
+
+// Server wraps a Dataset with HTTP handlers. Safe for concurrent use; the
+// dataset can be swapped atomically with Update.
+type Server struct {
+	mu   sync.RWMutex
+	data *Dataset
+}
+
+// NewServer builds a server over the dataset.
+func NewServer(data *Dataset) *Server {
+	return &Server{data: normalize(data)}
+}
+
+// Update swaps the served dataset (e.g. after a fresh crawl).
+func (s *Server) Update(data *Dataset) {
+	data = normalize(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = data
+}
+
+func normalize(data *Dataset) *Dataset {
+	if data.DynamicPrefixes == nil {
+		data.DynamicPrefixes = iputil.NewPrefixSet()
+	}
+	if data.NATUsers == nil {
+		data.NATUsers = map[iputil.Addr]int{}
+	}
+	return data
+}
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/v1/list", s.handleList)
+	mux.HandleFunc("/v1/prefixes", s.handlePrefixes)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) snapshot() *Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ipStr := r.URL.Query().Get("ip")
+	addr, err := iputil.ParseAddr(ipStr)
+	if err != nil {
+		http.Error(w, "bad or missing ip parameter", http.StatusBadRequest)
+		return
+	}
+	data := s.snapshot()
+	v := Verdict{IP: addr.String()}
+	if users, ok := data.NATUsers[addr]; ok {
+		v.Reused, v.NATed, v.Users = true, true, users
+	}
+	for bits := 32; bits >= 0; bits-- {
+		p := iputil.PrefixFrom(addr, bits)
+		if data.DynamicPrefixes.Contains(p) {
+			v.Reused, v.Dynamic, v.Prefix = true, true, p.String()
+			break
+		}
+	}
+	switch {
+	case v.NATed:
+		v.Advice = "shared address: prefer greylisting/challenges over hard blocking (except DDoS)"
+	case v.Dynamic:
+		v.Advice = "dynamically allocated: listing likely outlives the abuser; use short TTLs or greylisting"
+	default:
+		v.Advice = "no reuse evidence: standard blocklist handling applies"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data := s.snapshot()
+	addrs := iputil.NewSet()
+	for a := range data.NATUsers {
+		addrs.Add(a)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = blocklist.WritePlain(w, addrs,
+		fmt.Sprintf("NATed reused addresses, generated %s", data.Generated.UTC().Format(time.RFC3339)))
+}
+
+func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# dynamic prefixes, generated %s\n", data.Generated.UTC().Format(time.RFC3339))
+	for _, p := range data.DynamicPrefixes.Sorted() {
+		fmt.Fprintln(w, p)
+	}
+}
+
+// Stats is the JSON answer of /v1/stats.
+type Stats struct {
+	NATedAddresses  int       `json:"nated_addresses"`
+	DynamicPrefixes int       `json:"dynamic_prefixes"`
+	MaxUsers        int       `json:"max_users"`
+	Generated       time.Time `json:"generated"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data := s.snapshot()
+	st := Stats{
+		NATedAddresses:  len(data.NATUsers),
+		DynamicPrefixes: data.DynamicPrefixes.Len(),
+		Generated:       data.Generated,
+	}
+	for _, u := range data.NATUsers {
+		if u > st.MaxUsers {
+			st.MaxUsers = u
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// SortedNATed returns the NATed addresses in order (for deterministic dumps).
+func (d *Dataset) SortedNATed() []iputil.Addr {
+	out := make([]iputil.Addr, 0, len(d.NATUsers))
+	for a := range d.NATUsers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,203 @@
+package ripeatlas
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// ProbeSpec describes one simulated probe's allocation policy.
+type ProbeSpec struct {
+	ID  int
+	ASN int
+	// Pool is the prefix addresses are drawn from.
+	Pool iputil.Prefix
+	// MeanLease is the average address-lease duration; zero makes the
+	// probe static (a single address for its whole life).
+	MeanLease time.Duration
+	// MoveAt, when non-zero, relocates the probe at that offset from the
+	// fleet start into MovePool/MoveASN — modelling probes that change
+	// hosts or ISPs, which the paper's same-AS filter must exclude.
+	MoveAt   time.Duration
+	MovePool iputil.Prefix
+	MoveASN  int
+	// ReconnectEvery adds periodic disconnect/connect pairs on the same
+	// address (flaky uplinks); zero disables them.
+	ReconnectEvery time.Duration
+}
+
+// FleetParams configures SimulateFleet.
+type FleetParams struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration
+	Probes   []ProbeSpec
+}
+
+// SimulateFleet plays out every probe's allocation policy over the window
+// and returns the merged, time-sorted connection log.
+func SimulateFleet(p FleetParams) []LogEntry {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []LogEntry
+	for i := range p.Probes {
+		out = append(out, simulateProbe(rng, p.Start, p.Duration, &p.Probes[i])...)
+	}
+	SortLogs(out)
+	return out
+}
+
+func simulateProbe(rng *rand.Rand, start time.Time, dur time.Duration, spec *ProbeSpec) []LogEntry {
+	var out []LogEntry
+	end := start.Add(dur)
+	now := start
+	pool, asn := spec.Pool, spec.ASN
+	cur := randomHost(rng, pool, 0)
+	out = append(out, LogEntry{Timestamp: now, ProbeID: spec.ID, Event: EventConnect, Addr: cur, ASN: asn})
+	moveDue := spec.MoveAt > 0
+
+	nextReconnect := end.Add(time.Hour)
+	if spec.ReconnectEvery > 0 {
+		nextReconnect = now.Add(jittered(rng, spec.ReconnectEvery))
+	}
+	nextLease := end.Add(time.Hour)
+	if spec.MeanLease > 0 {
+		nextLease = now.Add(expDuration(rng, spec.MeanLease))
+	}
+	moveTime := end.Add(time.Hour)
+	if moveDue {
+		moveTime = start.Add(spec.MoveAt)
+	}
+
+	for {
+		// Next event is the earliest of lease expiry, reconnect, move.
+		next := nextLease
+		kind := "lease"
+		if nextReconnect.Before(next) {
+			next, kind = nextReconnect, "reconnect"
+		}
+		if moveTime.Before(next) {
+			next, kind = moveTime, "move"
+		}
+		if next.After(end) {
+			break
+		}
+		now = next
+		switch kind {
+		case "lease":
+			out = append(out, LogEntry{Timestamp: now, ProbeID: spec.ID, Event: EventDisconnect, Addr: cur, ASN: asn})
+			cur = randomHost(rng, pool, cur)
+			out = append(out, LogEntry{Timestamp: now.Add(time.Minute), ProbeID: spec.ID, Event: EventConnect, Addr: cur, ASN: asn})
+			nextLease = now.Add(expDuration(rng, spec.MeanLease))
+		case "reconnect":
+			out = append(out, LogEntry{Timestamp: now, ProbeID: spec.ID, Event: EventDisconnect, Addr: cur, ASN: asn})
+			out = append(out, LogEntry{Timestamp: now.Add(30 * time.Second), ProbeID: spec.ID, Event: EventConnect, Addr: cur, ASN: asn})
+			nextReconnect = now.Add(jittered(rng, spec.ReconnectEvery))
+		case "move":
+			out = append(out, LogEntry{Timestamp: now, ProbeID: spec.ID, Event: EventDisconnect, Addr: cur, ASN: asn})
+			pool, asn = spec.MovePool, spec.MoveASN
+			cur = randomHost(rng, pool, 0)
+			out = append(out, LogEntry{Timestamp: now.Add(time.Hour), ProbeID: spec.ID, Event: EventConnect, Addr: cur, ASN: asn})
+			moveTime = end.Add(time.Hour)
+		}
+	}
+	return out
+}
+
+// randomHost draws a host address from the pool distinct from avoid (pass 0
+// to accept anything). Network and broadcast addresses are skipped for
+// pools of /30 or shorter.
+func randomHost(rng *rand.Rand, pool iputil.Prefix, avoid iputil.Addr) iputil.Addr {
+	lo, n := 0, pool.Size()
+	if n >= 4 {
+		lo, n = 1, n-2
+	}
+	for {
+		a := pool.Nth(lo + rng.Intn(n))
+		if a != avoid {
+			return a
+		}
+	}
+}
+
+// expDuration draws an exponentially distributed duration with the given
+// mean, clamped away from zero so event times stay strictly ordered.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d < 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// jittered draws uniformly in [0.5, 1.5) times base.
+func jittered(rng *rand.Rand, base time.Duration) time.Duration {
+	return base/2 + time.Duration(rng.Int63n(int64(base)))
+}
+
+// StandardFleet builds a probe fleet shaped like the paper's population
+// (Fig 2): a majority of static probes, a band of slow churners, a heavy
+// tail of fast churners, and a slice of AS movers. scale multiplies the
+// population (scale 1 ≈ 1/10 of the real 15.7K-probe fleet).
+func StandardFleet(seed int64, scale float64) FleetParams {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	var probes []ProbeSpec
+	id := 1
+	addProbe := func(spec ProbeSpec) {
+		spec.ID = id
+		id++
+		probes = append(probes, spec)
+	}
+	// Pools: give every probe its own /24 in distinct space. ASNs cluster
+	// ~8 probes per AS.
+	pool := func(i int) iputil.Prefix {
+		return iputil.PrefixFrom(iputil.AddrFrom4(60, byte(i/250%250), byte(i%250), 0), 24)
+	}
+	pi := 0
+	asnOf := func() int { return 7000 + pi/8 }
+
+	// 59% static (paper: 9.3K of 15.7K never change).
+	for i := 0; i < n(930); i++ {
+		addProbe(ProbeSpec{ASN: asnOf(), Pool: pool(pi), ReconnectEvery: 30 * 24 * time.Hour})
+		pi++
+	}
+	// ~27% slow churners: several allocations over 16 months, well above
+	// one day between changes.
+	for i := 0; i < n(420); i++ {
+		lease := time.Duration(20+rng.Intn(90)) * 24 * time.Hour
+		addProbe(ProbeSpec{ASN: asnOf(), Pool: pool(pi), MeanLease: lease})
+		pi++
+	}
+	// Fast churners: daily or sub-daily leases — the real dynamic pools.
+	for i := 0; i < n(260); i++ {
+		lease := time.Duration(6+rng.Intn(30)) * time.Hour
+		addProbe(ProbeSpec{ASN: asnOf(), Pool: pool(pi), MeanLease: lease})
+		pi++
+	}
+	// ~13% AS movers, excluded by the same-AS filter.
+	for i := 0; i < n(200); i++ {
+		moveAt := time.Duration(60+rng.Intn(300)) * 24 * time.Hour
+		p1, p2 := pool(pi), pool(pi+5000)
+		addProbe(ProbeSpec{
+			ASN: asnOf(), Pool: p1, MeanLease: 15 * 24 * time.Hour,
+			MoveAt: moveAt, MovePool: p2, MoveASN: 9000 + pi,
+		})
+		pi++
+	}
+	return FleetParams{
+		Seed:     seed,
+		Start:    time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 16 * 30 * 24 * time.Hour, // ~16 months
+		Probes:   probes,
+	}
+}

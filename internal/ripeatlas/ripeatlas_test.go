@@ -1,0 +1,265 @@
+package ripeatlas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+var t0 = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func entry(day int, probe int, ev Event, addr string, asn int) LogEntry {
+	return LogEntry{
+		Timestamp: t0.Add(time.Duration(day*24) * time.Hour),
+		ProbeID:   probe,
+		Event:     ev,
+		Addr:      iputil.MustParseAddr(addr),
+		ASN:       asn,
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	in := []LogEntry{
+		entry(0, 1, EventConnect, "10.0.0.1", 64500),
+		entry(1, 1, EventDisconnect, "10.0.0.1", 64500),
+		entry(1, 2, EventConnect, "192.0.2.9", 64501),
+	}
+	var buf bytes.Buffer
+	if err := WriteLogs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Timestamp.Equal(in[i].Timestamp) || out[i] != (LogEntry{
+			Timestamp: out[i].Timestamp, ProbeID: in[i].ProbeID,
+			Event: in[i].Event, Addr: in[i].Addr, ASN: in[i].ASN,
+		}) {
+			t.Errorf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadLogsErrors(t *testing.T) {
+	bad := []string{
+		"not-a-time,1,connect,10.0.0.1,1\n",
+		"2019-01-01T00:00:00Z,x,connect,10.0.0.1,1\n",
+		"2019-01-01T00:00:00Z,1,frobnicate,10.0.0.1,1\n",
+		"2019-01-01T00:00:00Z,1,connect,999.0.0.1,1\n",
+		"2019-01-01T00:00:00Z,1,connect,10.0.0.1,x\n",
+		"2019-01-01T00:00:00Z,1,connect\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadLogs(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadLogs(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBuildHistoriesCountsAllocations(t *testing.T) {
+	logs := []LogEntry{
+		entry(0, 1, EventConnect, "10.0.0.1", 1),
+		entry(1, 1, EventDisconnect, "10.0.0.1", 1),
+		entry(1, 1, EventConnect, "10.0.0.1", 1), // reconnect, same addr: no change
+		entry(2, 1, EventConnect, "10.0.0.2", 1), // change 1
+		entry(3, 1, EventConnect, "10.0.0.1", 1), // change 2 (back to a known addr)
+	}
+	h := BuildHistories(logs)[1]
+	if h == nil {
+		t.Fatal("no history")
+	}
+	if len(h.Allocations) != 2 {
+		t.Errorf("Allocations = %v", h.Allocations)
+	}
+	if len(h.Changes) != 2 {
+		t.Errorf("Changes = %v", h.Changes)
+	}
+	if h.MultiAS() {
+		t.Error("single-AS probe flagged MultiAS")
+	}
+	mean, ok := h.MeanChangeInterval()
+	if !ok || mean != 24*time.Hour {
+		t.Errorf("mean interval = %v, %v", mean, ok)
+	}
+}
+
+func TestBuildHistoriesMultiAS(t *testing.T) {
+	logs := []LogEntry{
+		entry(0, 7, EventConnect, "10.0.0.1", 1),
+		entry(5, 7, EventConnect, "172.16.0.1", 2),
+	}
+	h := BuildHistories(logs)[7]
+	if !h.MultiAS() {
+		t.Error("probe with two ASNs not flagged")
+	}
+}
+
+func TestDetectPipelineStages(t *testing.T) {
+	var logs []LogEntry
+	// Probe 1: static.
+	logs = append(logs, entry(0, 1, EventConnect, "10.0.0.1", 100))
+	// Probe 2: daily churner with 10 allocations in one /24 — dynamic.
+	for d := 0; d < 10; d++ {
+		logs = append(logs, entry(d, 2, EventConnect, "10.1.0."+itoa(d+1), 100))
+	}
+	// Probe 3: frequent but slow (10 allocations, 10-day gaps) — filtered
+	// by the daily-change rule.
+	for d := 0; d < 10; d++ {
+		logs = append(logs, entry(d*10, 3, EventConnect, "10.2.0."+itoa(d+1), 100))
+	}
+	// Probe 4: multi-AS churner — excluded.
+	for d := 0; d < 10; d++ {
+		logs = append(logs, entry(d, 4, EventConnect, "10.3.0."+itoa(d+1), 100+d%2))
+	}
+	// Probe 5: three changes only — below the fixed threshold.
+	for d := 0; d < 3; d++ {
+		logs = append(logs, entry(d, 5, EventConnect, "10.4.0."+itoa(d+1), 100))
+	}
+	res := Detect(logs, DetectOptions{MinAllocations: 8})
+	if res.TotalProbes != 5 {
+		t.Fatalf("TotalProbes = %d", res.TotalProbes)
+	}
+	if res.MultiASProbes != 1 {
+		t.Errorf("MultiASProbes = %d", res.MultiASProbes)
+	}
+	if res.NoChangeProbes != 1 {
+		t.Errorf("NoChangeProbes = %d", res.NoChangeProbes)
+	}
+	if res.SameASProbes != 3 {
+		t.Errorf("SameASProbes = %d", res.SameASProbes)
+	}
+	if res.FrequentProbes != 2 {
+		t.Errorf("FrequentProbes = %d", res.FrequentProbes)
+	}
+	if res.DailyProbes != 1 || len(res.DynamicProbeIDs) != 1 || res.DynamicProbeIDs[0] != 2 {
+		t.Errorf("DailyProbes = %d, ids = %v", res.DailyProbes, res.DynamicProbeIDs)
+	}
+	if !res.DynamicPrefixes.Contains(iputil.MustParsePrefix("10.1.0.0/24")) {
+		t.Error("dynamic /24 missing")
+	}
+	if res.DynamicPrefixes.Len() != 1 {
+		t.Errorf("DynamicPrefixes = %d, want 1", res.DynamicPrefixes.Len())
+	}
+	if res.DynamicAddresses.Len() != 10 {
+		t.Errorf("DynamicAddresses = %d", res.DynamicAddresses.Len())
+	}
+}
+
+func TestDetectExpandBitsAblation(t *testing.T) {
+	var logs []LogEntry
+	// Addresses spread across the /24 so that /28 expansion splits them.
+	for d := 0; d < 10; d++ {
+		logs = append(logs, entry(d, 2, EventConnect, "10.1.0."+itoa(d*20+1), 100))
+	}
+	res20 := Detect(logs, DetectOptions{MinAllocations: 8, ExpandBits: 20})
+	if !res20.DynamicPrefixes.Contains(iputil.MustParsePrefix("10.1.0.0/20")) {
+		t.Error("expected /20 expansion")
+	}
+	res28 := Detect(logs, DetectOptions{MinAllocations: 8, ExpandBits: 28})
+	if res28.DynamicPrefixes.Len() < 2 {
+		t.Errorf("/28 expansion should split the pool, got %d prefixes", res28.DynamicPrefixes.Len())
+	}
+}
+
+func TestDetectKneeFallback(t *testing.T) {
+	// Two probes, no churners: kneedle cannot find a knee; the pipeline
+	// must fall back to the paper's threshold of 8 and find nothing.
+	logs := []LogEntry{
+		entry(0, 1, EventConnect, "10.0.0.1", 1),
+		entry(0, 2, EventConnect, "10.0.1.1", 1),
+		entry(1, 2, EventConnect, "10.0.1.2", 1),
+	}
+	res := Detect(logs, DetectOptions{})
+	if res.KneeThreshold != 8 {
+		t.Errorf("KneeThreshold = %d, want fallback 8", res.KneeThreshold)
+	}
+	if res.DailyProbes != 0 {
+		t.Errorf("DailyProbes = %d", res.DailyProbes)
+	}
+}
+
+func TestSimulateFleetDeterministic(t *testing.T) {
+	p := StandardFleet(5, 0.05)
+	a := SimulateFleet(p)
+	b := SimulateFleet(p)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestStandardFleetShape(t *testing.T) {
+	p := StandardFleet(42, 0.2)
+	logs := SimulateFleet(p)
+	res := Detect(logs, DetectOptions{})
+	if res.TotalProbes != len(p.Probes) {
+		t.Fatalf("probes = %d, want %d", res.TotalProbes, len(p.Probes))
+	}
+	// Paper shape: a majority never change, ~13% multi-AS, a small final
+	// fraction (~4%) of daily churners.
+	frNoChange := float64(res.NoChangeProbes) / float64(res.TotalProbes)
+	if frNoChange < 0.40 || frNoChange > 0.75 {
+		t.Errorf("no-change fraction = %.2f, want near 0.59", frNoChange)
+	}
+	frMulti := float64(res.MultiASProbes) / float64(res.TotalProbes)
+	if frMulti < 0.05 || frMulti > 0.25 {
+		t.Errorf("multi-AS fraction = %.2f, want near 0.13", frMulti)
+	}
+	frDaily := float64(res.DailyProbes) / float64(res.TotalProbes)
+	if frDaily < 0.01 || frDaily > 0.25 {
+		t.Errorf("daily fraction = %.2f, want small but nonzero", frDaily)
+	}
+	// The knee should be in the single-digit-to-tens range like Fig 2.
+	if res.KneeThreshold < 2 || res.KneeThreshold > 60 {
+		t.Errorf("knee = %d", res.KneeThreshold)
+	}
+	// Fast churners cover far more addresses per probe than the rest.
+	if res.DynamicAddresses.Len() <= res.DailyProbes*5 {
+		t.Errorf("dynamic probes cover too few addresses: %d addrs for %d probes",
+			res.DynamicAddresses.Len(), res.DailyProbes)
+	}
+}
+
+func TestFleetMoverExcluded(t *testing.T) {
+	p := FleetParams{
+		Seed:     1,
+		Start:    t0,
+		Duration: 100 * 24 * time.Hour,
+		Probes: []ProbeSpec{{
+			ID: 1, ASN: 100,
+			Pool:      iputil.MustParsePrefix("10.0.0.0/24"),
+			MeanLease: 12 * time.Hour,
+			MoveAt:    50 * 24 * time.Hour,
+			MovePool:  iputil.MustParsePrefix("172.16.0.0/24"),
+			MoveASN:   200,
+		}},
+	}
+	res := Detect(SimulateFleet(p), DetectOptions{MinAllocations: 4})
+	if res.MultiASProbes != 1 || res.DailyProbes != 0 {
+		t.Errorf("mover not excluded: %+v", res)
+	}
+}
+
+func itoa(i int) string {
+	s := ""
+	if i == 0 {
+		return "0"
+	}
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Respondents != 0 || s.ExternalPct != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSmall(t *testing.T) {
+	rs := []Response{
+		{UsesExternal: true, DirectBlock: true, PaidLists: 4, PublicLists: 10,
+			AnsweredReuse: true, DynamicConcern: true, CGNConcern: true,
+			TypesUsed: []blocklist.Type{blocklist.Spam, blocklist.DDoS}},
+		{UsesInternal: true, ThreatIntel: true, PublicLists: 2, AnsweredReuse: true},
+	}
+	s := Summarize(rs)
+	if s.Respondents != 2 || s.ExternalPct != 0.5 || s.DirectBlockPct != 0.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.PaidAvg != 2 || s.PaidMax != 4 || s.PublicAvg != 6 || s.PublicMax != 10 {
+		t.Errorf("list stats = %+v", s)
+	}
+	if s.ReuseRespondents != 2 || s.DynamicPct != 0.5 || s.CGNPct != 0.5 {
+		t.Errorf("reuse stats = %+v", s)
+	}
+	if s.TwoPlusPct != 0.5 {
+		t.Errorf("TwoPlusPct = %v", s.TwoPlusPct)
+	}
+}
+
+func TestStandardResponsesMatchTable1(t *testing.T) {
+	rs := StandardResponses(1)
+	if len(rs) != 65 {
+		t.Fatalf("respondents = %d", len(rs))
+	}
+	s := Summarize(rs)
+	approx := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.3f, want %.3f ± %.3f", name, got, want, tol)
+		}
+	}
+	approx("ExternalPct", s.ExternalPct, 0.85, 0.02)
+	approx("DirectBlockPct", s.DirectBlockPct, 0.59, 0.02)
+	approx("ThreatIntelPct", s.ThreatIntelPct, 0.35, 0.02)
+	approx("InternalPct", s.InternalPct, 0.70, 0.03)
+	approx("PaidAvg", s.PaidAvg, 2, 1)
+	approx("PublicAvg", s.PublicAvg, 10, 1.5)
+	if s.PaidMax != 39 || s.PublicMax != 68 {
+		t.Errorf("maxima = %d/%d, want 39/68", s.PaidMax, s.PublicMax)
+	}
+	if s.ReuseRespondents != 34 {
+		t.Errorf("ReuseRespondents = %d, want 34", s.ReuseRespondents)
+	}
+	approx("DynamicPct", s.DynamicPct, 26.0/34, 0.001)
+	approx("CGNPct", s.CGNPct, 19.0/34, 0.001)
+}
+
+func TestStandardResponsesDeterministic(t *testing.T) {
+	a := StandardResponses(7)
+	b := StandardResponses(7)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].PaidLists != b[i].PaidLists ||
+			a[i].UsesExternal != b[i].UsesExternal || len(a[i].TypesUsed) != len(b[i].TypesUsed) {
+			t.Fatalf("response %d differs between runs", i)
+		}
+	}
+}
+
+func TestTypesAmongAffectedGradient(t *testing.T) {
+	rs := StandardResponses(3)
+	usage := TypesAmongAffected(rs)
+	if len(usage) == 0 {
+		t.Fatal("no type usage")
+	}
+	// Output is sorted ascending; spam must be the most-used type and
+	// close to universal among affected operators (Fig 9).
+	top := usage[len(usage)-1]
+	if top.Type != blocklist.Spam && top.Type != blocklist.Reputation {
+		t.Errorf("top type = %v, want spam or reputation", top.Type)
+	}
+	if top.Percent < 0.7 {
+		t.Errorf("top type usage = %.2f, want high", top.Percent)
+	}
+	for i := 1; i < len(usage); i++ {
+		if usage[i].Percent < usage[i-1].Percent {
+			t.Fatal("usage not sorted ascending")
+		}
+	}
+}
+
+func TestTypesAmongAffectedIgnoresUnaffected(t *testing.T) {
+	rs := []Response{
+		{AnsweredReuse: true, DynamicConcern: true, TypesUsed: []blocklist.Type{blocklist.Spam}},
+		{AnsweredReuse: true, TypesUsed: []blocklist.Type{blocklist.DDoS}},     // no concern
+		{AnsweredReuse: false, TypesUsed: []blocklist.Type{blocklist.Malware}}, // didn't answer
+	}
+	usage := TypesAmongAffected(rs)
+	if len(usage) != 1 || usage[0].Type != blocklist.Spam || usage[0].Percent != 1 {
+		t.Errorf("usage = %+v", usage)
+	}
+}
