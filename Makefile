@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench report fuzz clean
+.PHONY: all build vet test ci bench report fuzz clean
 
 all: build vet test
 
@@ -11,9 +11,16 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
 
-# Regenerates every paper table/figure into bench_artifacts/.
+# What the CI workflow runs: -short skips the full default-scale golden
+# study but keeps the 4-worker equivalence test that exercises every
+# parallel fan-out under the race detector.
+ci: build vet
+	$(GO) test -race -short ./...
+
+# Regenerates every paper table/figure into bench_artifacts/ plus the
+# worker-scaling curve in BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -26,5 +33,7 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/krpc/
 	$(GO) test -fuzz FuzzParseLog -fuzztime 30s ./internal/crawler/
 
+# bench_artifacts/ holds the committed golden files; regenerate with
+# `make bench` rather than deleting.
 clean:
-	rm -rf bench_artifacts
+	rm -f *.test *.out

@@ -27,14 +27,15 @@ import (
 
 // benchStudy is the shared default-scale study; built once because the full
 // crawl is the expensive part and every figure joins against its results.
+// Shared between the benchmarks and the golden-file regression test.
 var (
 	benchOnce   sync.Once
 	benchStudy  *core.Study
 	benchReport *core.Report
 )
 
-func study(b *testing.B) (*core.Study, *core.Report) {
-	b.Helper()
+func study(tb testing.TB) (*core.Study, *core.Report) {
+	tb.Helper()
 	benchOnce.Do(func() {
 		s := core.NewStudy(core.Config{Seed: 1})
 		rep, err := s.Run()
@@ -47,14 +48,14 @@ func study(b *testing.B) (*core.Study, *core.Report) {
 }
 
 // writeArtifact saves rendered output next to the bench results.
-func writeArtifact(b *testing.B, name, content string) {
-	b.Helper()
+func writeArtifact(tb testing.TB, name, content string) {
+	tb.Helper()
 	dir := "bench_artifacts"
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		b.Fatalf("artifact dir: %v", err)
+		tb.Fatalf("artifact dir: %v", err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-		b.Fatalf("artifact: %v", err)
+		tb.Fatalf("artifact: %v", err)
 	}
 }
 

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	blanalyze -feeds DIR -nated FILE -dynamic FILE [-pfx2as FILE]
+//	blanalyze -feeds DIR -nated FILE -dynamic FILE [-pfx2as FILE] [-workers N]
 package main
 
 import (
@@ -37,6 +37,7 @@ func main() {
 		natedF   = flag.String("nated", "", "NATed address list (plain, or 'addr<TAB>users')")
 		dynF     = flag.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
 		pfxF     = flag.String("pfx2as", "", "pfx2as snapshot for per-AS aggregation")
+		workers  = flag.Int("workers", 0, "worker goroutines for the sharded joins (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *feedsDir == "" {
@@ -101,6 +102,7 @@ func main() {
 		DynamicPrefixes: dynPrefixes,
 		RIPEPrefixes:    dynPrefixes, // best available coverage proxy on disk datasets
 		ASNOf:           asnOf,
+		Workers:         *workers,
 	}
 
 	per := analysis.ComputePerListReuse(in)

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	blreport [-seed N] [-scale F] [-crawl DUR] [-skip-crawl] [-skip-icmp]
-//	         [-reused-out FILE]
+//	blreport [-seed N] [-scale F] [-crawl DUR] [-workers N] [-skip-crawl]
+//	         [-skip-icmp] [-reused-out FILE]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 		skipICMP  = flag.Bool("skip-icmp", false, "skip the ICMP survey baseline")
 		reusedOut = flag.String("reused-out", "", "write the reused-address list to this file")
 		svgDir    = flag.String("svg", "", "also render every figure as SVG into this directory")
+		workers   = flag.Int("workers", 0, "worker goroutines for the deterministic fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		CrawlDuration: *crawl,
 		SkipCrawl:     *skipCrawl,
 		SkipICMP:      *skipICMP,
+		Workers:       *workers,
 	}
 
 	start := time.Now()

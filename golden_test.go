@@ -1,0 +1,54 @@
+// Golden-file regression tests: the default-seed study must keep producing
+// the exact artifacts committed under bench_artifacts/. Any change to world
+// generation, the simulator, the detectors or the joins shows up here as a
+// byte-level diff; regenerate intentionally with `go test -bench=. .`.
+package reuseblock_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenArtifacts re-renders every default-study artifact and diffs it
+// against the committed copy. It shares the cached study with the
+// benchmarks, so the expensive crawl runs at most once per process.
+func TestGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default-scale study; skipped in -short mode")
+	}
+	_, rep := study(t)
+	perList := rep.PerList
+	artifacts := map[string]string{
+		"figure2.txt":  rep.Figure2().Render(),
+		"figure3.txt":  rep.Overlap.Figure3().Render(),
+		"figure4.txt":  rep.Funnel.Table().Render(),
+		"figure5.txt":  perList.Figure5().Render(),
+		"figure6.txt":  perList.Figure6().Render(),
+		"figure7.txt":  rep.Durations.Figure7().Render(),
+		"figure8.txt":  rep.NATUsers.Figure8().Render(),
+		"figure9.txt":  rep.Figure9().Render(),
+		"table1.txt":   rep.Table1().Render(),
+		"table2.txt":   rep.Table2().Render(),
+		"section4.txt": rep.CrawlStatsTable().Render(),
+		"section5.txt": fmt.Sprintf("top NATed feeds: %v\ntop dynamic feeds: %v\n", perList.TopNATedFeeds, perList.TopDynamicFeeds),
+	}
+	for name, got := range artifacts {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("bench_artifacts", name)
+			want, err := os.ReadFile(path)
+			if os.IsNotExist(err) {
+				t.Skipf("%s missing; run `go test -bench=. .` to generate it", path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from the committed golden copy (len %d -> %d);\n"+
+					"if the change is intentional, regenerate with `go test -bench=. .`\ngot:\n%s",
+					path, len(want), len(got), got)
+			}
+		})
+	}
+}

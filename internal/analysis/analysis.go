@@ -11,6 +11,7 @@ import (
 
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/stats"
 )
 
@@ -27,6 +28,14 @@ type Inputs struct {
 	RIPEPrefixes    *iputil.PrefixSet
 	CaiBlocks       *iputil.PrefixSet
 	ASNOf           func(iputil.Addr) (int, bool)
+
+	// Workers bounds the parallelism of the Compute* joins. The joins are
+	// sharded over listings/addresses and merged with commutative
+	// operations (sums, maxima, set unions), so any worker count produces
+	// bit-for-bit identical results: <= 0 means GOMAXPROCS, 1 is the
+	// sequential path. All other Inputs fields (and ASNOf) must be
+	// read-only while a Compute* call runs.
+	Workers int
 }
 
 func (in *Inputs) isNATed(a iputil.Addr) bool {
@@ -82,7 +91,9 @@ type FeedCount struct {
 	Count int
 }
 
-// ComputePerListReuse joins listings with the reuse detections.
+// ComputePerListReuse joins listings with the reuse detections. The join is
+// sharded over the listing slice; per-shard counters and address sets merge
+// by addition and union, so the result is identical for any worker count.
 func ComputePerListReuse(in *Inputs) *PerListReuse {
 	reg := in.Collection.Registry()
 	out := &PerListReuse{
@@ -90,23 +101,53 @@ func ComputePerListReuse(in *Inputs) *PerListReuse {
 		DynamicPerFeed:    make([]int, reg.Len()),
 		CaiDynamicPerFeed: make([]int, reg.Len()),
 	}
+	type shard struct {
+		nated, dynamic, cai    []int
+		natedN, dynamicN, caiN int
+		natAddrs, dynAddrs     *iputil.Set
+	}
+	listings := in.Collection.Listings()
+	workers := parallel.Workers(in.Workers)
+	chunks := parallel.Chunks(len(listings), workers)
+	shards := parallel.Map(workers, len(chunks), func(ci int) *shard {
+		s := &shard{
+			nated:    make([]int, reg.Len()),
+			dynamic:  make([]int, reg.Len()),
+			cai:      make([]int, reg.Len()),
+			natAddrs: iputil.NewSet(),
+			dynAddrs: iputil.NewSet(),
+		}
+		for _, l := range listings[chunks[ci][0]:chunks[ci][1]] {
+			if in.isNATed(l.Addr) {
+				s.nated[l.FeedIndex]++
+				s.natedN++
+				s.natAddrs.Add(l.Addr)
+			}
+			if in.isDynamic(l.Addr) {
+				s.dynamic[l.FeedIndex]++
+				s.dynamicN++
+				s.dynAddrs.Add(l.Addr)
+			}
+			if in.isCaiDynamic(l.Addr) {
+				s.cai[l.FeedIndex]++
+				s.caiN++
+			}
+		}
+		return s
+	})
 	natAddrs := iputil.NewSet()
 	dynAddrs := iputil.NewSet()
-	for _, l := range in.Collection.Listings() {
-		if in.isNATed(l.Addr) {
-			out.NATedPerFeed[l.FeedIndex]++
-			out.NATedListings++
-			natAddrs.Add(l.Addr)
+	for _, s := range shards {
+		for i := 0; i < reg.Len(); i++ {
+			out.NATedPerFeed[i] += s.nated[i]
+			out.DynamicPerFeed[i] += s.dynamic[i]
+			out.CaiDynamicPerFeed[i] += s.cai[i]
 		}
-		if in.isDynamic(l.Addr) {
-			out.DynamicPerFeed[l.FeedIndex]++
-			out.DynamicListings++
-			dynAddrs.Add(l.Addr)
-		}
-		if in.isCaiDynamic(l.Addr) {
-			out.CaiDynamicPerFeed[l.FeedIndex]++
-			out.CaiDynamicListings++
-		}
+		out.NATedListings += s.natedN
+		out.DynamicListings += s.dynamicN
+		out.CaiDynamicListings += s.caiN
+		natAddrs.AddSet(s.natAddrs)
+		dynAddrs.AddSet(s.dynAddrs)
 	}
 	out.NATedAddrs = natAddrs.Len()
 	out.DynamicAddrs = dynAddrs.Len()
@@ -194,24 +235,46 @@ type Durations struct {
 	MaxReusedPerWindow []int
 }
 
-// ComputeDurations builds the Fig 7 distributions.
+// ComputeDurations builds the Fig 7 distributions. Shards collect duration
+// samples independently; the CDFs sort the merged multiset, and maxima
+// merge by max, so sharding cannot change the result.
 func ComputeDurations(in *Inputs) *Durations {
+	type shard struct {
+		all, nated, dynamic []float64
+		maxReused           int
+	}
+	workers := parallel.Workers(in.Workers)
+	collect := func(listings []blocklist.Listing) []*shard {
+		chunks := parallel.Chunks(len(listings), workers)
+		return parallel.Map(workers, len(chunks), func(ci int) *shard {
+			s := &shard{}
+			for _, l := range listings[chunks[ci][0]:chunks[ci][1]] {
+				d := float64(l.Days)
+				s.all = append(s.all, d)
+				reused := false
+				if in.isNATed(l.Addr) {
+					s.nated = append(s.nated, d)
+					reused = true
+				}
+				if in.isDynamic(l.Addr) {
+					s.dynamic = append(s.dynamic, d)
+					reused = true
+				}
+				if reused && l.Days > s.maxReused {
+					s.maxReused = l.Days
+				}
+			}
+			return s
+		})
+	}
 	var all, nated, dynamic []float64
 	maxReused := 0
-	for _, l := range in.Collection.Listings() {
-		d := float64(l.Days)
-		all = append(all, d)
-		reused := false
-		if in.isNATed(l.Addr) {
-			nated = append(nated, d)
-			reused = true
-		}
-		if in.isDynamic(l.Addr) {
-			dynamic = append(dynamic, d)
-			reused = true
-		}
-		if reused && l.Days > maxReused {
-			maxReused = l.Days
+	for _, s := range collect(in.Collection.Listings()) {
+		all = append(all, s.all...)
+		nated = append(nated, s.nated...)
+		dynamic = append(dynamic, s.dynamic...)
+		if s.maxReused > maxReused {
+			maxReused = s.maxReused
 		}
 	}
 	out := &Durations{
@@ -222,9 +285,9 @@ func ComputeDurations(in *Inputs) *Durations {
 	}
 	for w := range in.Collection.Windows() {
 		maxW := 0
-		for _, l := range in.Collection.ListingsInWindow(w) {
-			if (in.isNATed(l.Addr) || in.isDynamic(l.Addr)) && l.Days > maxW {
-				maxW = l.Days
+		for _, s := range collect(in.Collection.ListingsInWindow(w)) {
+			if s.maxReused > maxW {
+				maxW = s.maxReused
 			}
 		}
 		out.MaxReusedPerWindow = append(out.MaxReusedPerWindow, maxW)

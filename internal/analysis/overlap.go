@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/stats"
 )
 
@@ -48,24 +49,46 @@ type ASCounts struct {
 
 // ComputeASOverlap aggregates blocklisted addresses per AS and their
 // intersection with the crawler's BitTorrent sightings and RIPE coverage.
+// The address walk is sharded; per-shard AS maps merge by adding counts,
+// and the final per-AS ordering comes from an explicit sort, so the result
+// is identical for any worker count.
 func ComputeASOverlap(in *Inputs) *ASOverlap {
+	addrs := in.Collection.AllAddrs().Sorted()
+	workers := parallel.Workers(in.Workers)
+	chunks := parallel.Chunks(len(addrs), workers)
+	partials := parallel.Map(workers, len(chunks), func(ci int) map[int]*ASCounts {
+		m := make(map[int]*ASCounts)
+		for _, a := range addrs[chunks[ci][0]:chunks[ci][1]] {
+			asn, ok := in.ASNOf(a)
+			if !ok {
+				continue
+			}
+			c := m[asn]
+			if c == nil {
+				c = &ASCounts{ASN: asn}
+				m[asn] = c
+			}
+			c.Blocklisted++
+			if in.BTObserved != nil && in.BTObserved.Contains(a) {
+				c.BT++
+			}
+			if in.RIPEPrefixes != nil && in.RIPEPrefixes.Covers(a) {
+				c.RIPE++
+			}
+		}
+		return m
+	})
 	byAS := make(map[int]*ASCounts)
-	for _, a := range in.Collection.AllAddrs().Sorted() {
-		asn, ok := in.ASNOf(a)
-		if !ok {
-			continue
-		}
-		c := byAS[asn]
-		if c == nil {
-			c = &ASCounts{ASN: asn}
-			byAS[asn] = c
-		}
-		c.Blocklisted++
-		if in.BTObserved != nil && in.BTObserved.Contains(a) {
-			c.BT++
-		}
-		if in.RIPEPrefixes != nil && in.RIPEPrefixes.Covers(a) {
-			c.RIPE++
+	for _, m := range partials {
+		for asn, p := range m {
+			c := byAS[asn]
+			if c == nil {
+				c = &ASCounts{ASN: asn}
+				byAS[asn] = c
+			}
+			c.Blocklisted += p.Blocklisted
+			c.BT += p.BT
+			c.RIPE += p.RIPE
 		}
 	}
 	out := &ASOverlap{}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 )
 
 // ActorKind classifies the origin of an abuse campaign, which determines
@@ -212,18 +213,45 @@ var topFeeds = map[string]bool{
 	"botscout":            true,
 }
 
+// typeMatch reports whether a feed of feedType would list a campaign with
+// the given type mixture.
+func typeMatch(feedType blocklist.Type, types []blocklist.Type) bool {
+	for _, t := range types {
+		if t == feedType {
+			return true
+		}
+	}
+	return false
+}
+
+// feedSeed derives feed fi's RNG sub-seed from the world seed. Every feed
+// owns an independent stream, so feeds can be generated in any order — or
+// concurrently — with identical output.
+func feedSeed(worldSeed int64, fi int) int64 {
+	return int64(hashMix(uint64(worldSeed)^0x46454544, uint64(fi)+1)) // "FEED"
+}
+
+// listingSpan is one recorded presence run: addr listed on [from, to].
+type listingSpan struct {
+	addr     iputil.Addr
+	from, to int
+}
+
 // buildFeeds plays every campaign against every feed and fills the
-// collection with daily listings.
+// collection with daily listings. Each feed draws from its own sub-seeded
+// RNG stream and plays the (shared, frozen) campaign population
+// independently of every other feed, so the maintainer feeds are generated
+// concurrently under p.Workers with bit-for-bit deterministic output.
 func (w *World) buildFeeds(rng *rand.Rand) {
 	p := &w.Params
 	w.Collection = blocklist.NewCollection(w.Registry, p.Days)
-	nDays := len(p.Days)
 
 	// Feed population is bimodal, which is what produces the paper's
 	// "40-47% of lists carry no reused addresses" alongside substantial
 	// average list sizes: top community feeds see globally at a high rate;
 	// "broad" aggregators see globally at a low rate; "tiny" sensor feeds
-	// see only the handful of ASes their honeypots sit in.
+	// see only the handful of ASes their honeypots sit in. Profiles draw
+	// from the world RNG sequentially (cheap, order-dependent).
 	profiles := make([]feedProfile, w.Registry.Len())
 	for i, f := range w.Registry.Feeds {
 		prof := feedProfile{lag1P: p.DelistLag1P, lag2P: p.DelistLag2P}
@@ -249,72 +277,83 @@ func (w *World) buildFeeds(rng *rand.Rand) {
 		profiles[i] = prof
 	}
 
-	typeMatch := func(feedType blocklist.Type, types []blocklist.Type) bool {
-		for _, t := range types {
-			if t == feedType {
-				return true
-			}
+	// Play the campaigns against every feed concurrently (campaigns,
+	// profiles and the registry are frozen here), then record the spans
+	// into the collection sequentially in feed order — RecordSpan mutates
+	// shared collection state and is cheap next to the playback.
+	spansPerFeed := parallel.Map(p.Workers, w.Registry.Len(), func(fi int) []listingSpan {
+		return w.playFeed(fi, &profiles[fi])
+	})
+	for fi, spans := range spansPerFeed {
+		for _, s := range spans {
+			_ = w.Collection.RecordSpan(fi, s.addr, s.from, s.to)
 		}
-		return false
 	}
+}
 
+// playFeed plays every campaign against one feed, drawing detection, lag
+// and delisting from the feed's own sub-seeded stream, and returns the
+// listing spans in deterministic (campaign, day) order.
+func (w *World) playFeed(fi int, prof *feedProfile) []listingSpan {
+	p := &w.Params
+	feed := &w.Registry.Feeds[fi]
+	frng := rand.New(rand.NewSource(feedSeed(p.Seed, fi)))
+	nDays := len(p.Days)
+	var spans []listingSpan
 	for _, c := range w.Campaigns {
-		for fi := range w.Registry.Feeds {
-			feed := &w.Registry.Feeds[fi]
-			if !typeMatch(feed.Type, c.Types) {
-				continue
-			}
-			prof := &profiles[fi]
-			if !prof.covers(c.ASN) {
-				continue
-			}
-			if rng.Float64() >= prof.detectP {
-				continue
-			}
-			// Detection lag.
-			var lag int
-			switch r := rng.Float64(); {
-			case r < 0.6:
-				lag = 0
-			case r < 0.9:
-				lag = 1
-			default:
-				lag = 2
-			}
-			firstSeen := c.StartDay + lag
-			if firstSeen > c.EndDay {
-				continue // campaign over before the feed noticed
-			}
-			// Delisting lag after the last event at each address.
-			var delist int
-			switch r := rng.Float64(); {
-			case r < prof.lag1P:
-				delist = 1
-			case r < prof.lag1P+prof.lag2P:
-				delist = 2
-			default:
-				delist = 3
-				for delist < 14 && rng.Float64() < 0.5 {
-					delist++
-				}
-			}
-			// Walk the campaign's address runs and record listing spans.
-			runStart := firstSeen
-			for d := firstSeen; d <= c.EndDay; d++ {
-				if d+1 <= c.EndDay && c.AddrOnDay(d+1) == c.AddrOnDay(d) {
-					continue
-				}
-				addr := c.AddrOnDay(d)
-				to := d + delist - 1
-				if to >= nDays {
-					to = nDays - 1
-				}
-				// The listing covers activity days plus the delist lag.
-				_ = w.Collection.RecordSpan(fi, addr, runStart, to)
-				runStart = d + 1
+		if !typeMatch(feed.Type, c.Types) {
+			continue
+		}
+		if !prof.covers(c.ASN) {
+			continue
+		}
+		if frng.Float64() >= prof.detectP {
+			continue
+		}
+		// Detection lag.
+		var lag int
+		switch r := frng.Float64(); {
+		case r < 0.6:
+			lag = 0
+		case r < 0.9:
+			lag = 1
+		default:
+			lag = 2
+		}
+		firstSeen := c.StartDay + lag
+		if firstSeen > c.EndDay {
+			continue // campaign over before the feed noticed
+		}
+		// Delisting lag after the last event at each address.
+		var delist int
+		switch r := frng.Float64(); {
+		case r < prof.lag1P:
+			delist = 1
+		case r < prof.lag1P+prof.lag2P:
+			delist = 2
+		default:
+			delist = 3
+			for delist < 14 && frng.Float64() < 0.5 {
+				delist++
 			}
 		}
+		// Walk the campaign's address runs and record listing spans.
+		runStart := firstSeen
+		for d := firstSeen; d <= c.EndDay; d++ {
+			if d+1 <= c.EndDay && c.AddrOnDay(d+1) == c.AddrOnDay(d) {
+				continue
+			}
+			addr := c.AddrOnDay(d)
+			to := d + delist - 1
+			if to >= nDays {
+				to = nDays - 1
+			}
+			// The listing covers activity days plus the delist lag.
+			spans = append(spans, listingSpan{addr: addr, from: runStart, to: to})
+			runStart = d + 1
+		}
 	}
+	return spans
 }
 
 // poisson draws a Poisson variate with the given mean.

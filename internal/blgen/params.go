@@ -89,6 +89,13 @@ type Params struct {
 
 	// Registry is the feed registry (default: blocklist.StandardRegistry).
 	Registry *blocklist.Registry
+
+	// Workers bounds the parallelism of feed generation. Each maintainer
+	// feed plays the campaign population against its own sub-seeded RNG
+	// stream, so the generated world is bit-for-bit identical for any
+	// value: <= 0 means GOMAXPROCS, 1 is the sequential path. Workers is
+	// execution policy, not part of the world's identity.
+	Workers int
 }
 
 // DefaultParams returns the calibrated bench-scale world.

@@ -8,6 +8,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/analysis"
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/stats"
 )
 
@@ -32,50 +33,65 @@ type Report struct {
 	ReusedAddrs *iputil.Set
 }
 
+// buildReport computes every figure and table. The computations only read
+// the study's stage outputs and write disjoint Report fields, so they run as
+// a parallel DAG under Config.Workers; each is deterministic on its own, so
+// the report is identical for any worker count. detectedNAT is computed
+// up-front because two tasks share it read-only.
 func (s *Study) buildReport() *Report {
 	r := &Report{study: s}
-	r.PerList = analysis.ComputePerListReuse(s.Inputs)
-	r.Durations = analysis.ComputeDurations(s.Inputs)
-	r.NATUsers = analysis.ComputeNATUsers(s.Inputs)
-	r.Overlap = analysis.ComputeASOverlap(s.Inputs)
 
-	stages := analysis.RIPEStages{
-		SameAS:   prefixesOf(s.RIPE.SameASAddresses),
-		Frequent: prefixesOf(s.RIPE.FrequentAddresses),
-		Daily:    s.RIPE.DynamicPrefixes,
-	}
-	r.Funnel = analysis.ComputeFunnel(s.Inputs, s.CrawlStats.UniqueIPs, stages)
-
-	// Ground truth scores.
 	detectedNAT := iputil.NewSet()
 	for addr := range s.Inputs.NATUsers {
 		detectedNAT.Add(addr)
 	}
-	trueNAT := iputil.NewSet()
-	for _, n := range s.World.NATs {
-		if n.BTUsers >= 2 {
-			trueNAT.Add(n.Addr)
-		}
-	}
-	r.NATScore = analysis.Score(detectedNAT, trueNAT)
 
-	detectedDyn := iputil.NewSet()
-	for _, p := range s.RIPE.DynamicPrefixes.Sorted() {
-		detectedDyn.Add(p.Base())
-	}
-	trueDyn := iputil.NewSet()
-	for _, p := range s.World.TrueFastDynamic.Sorted() {
-		trueDyn.Add(p.Base())
-	}
-	r.RIPEScore = analysis.Score(detectedDyn, trueDyn)
-
-	// The published reused-address list: blocklisted ∩ (NATed ∪ dynamic).
-	r.ReusedAddrs = iputil.NewSet()
-	for _, a := range s.World.Collection.AllAddrs().Sorted() {
-		if detectedNAT.Contains(a) || s.RIPE.DynamicPrefixes.Covers(a) {
-			r.ReusedAddrs.Add(a)
-		}
-	}
+	parallel.Do(s.Config.Workers,
+		func() { r.PerList = analysis.ComputePerListReuse(s.Inputs) },
+		func() { r.Durations = analysis.ComputeDurations(s.Inputs) },
+		func() { r.NATUsers = analysis.ComputeNATUsers(s.Inputs) },
+		func() { r.Overlap = analysis.ComputeASOverlap(s.Inputs) },
+		func() {
+			stages := analysis.RIPEStages{
+				SameAS:   prefixesOf(s.RIPE.SameASAddresses),
+				Frequent: prefixesOf(s.RIPE.FrequentAddresses),
+				Daily:    s.RIPE.DynamicPrefixes,
+			}
+			r.Funnel = analysis.ComputeFunnel(s.Inputs, s.CrawlStats.UniqueIPs, stages)
+		},
+		func() {
+			// Ground truth: crawler NAT detection vs BT≥2 gateways.
+			trueNAT := iputil.NewSet()
+			for _, n := range s.World.NATs {
+				if n.BTUsers >= 2 {
+					trueNAT.Add(n.Addr)
+				}
+			}
+			r.NATScore = analysis.Score(detectedNAT, trueNAT)
+		},
+		func() {
+			// Ground truth: RIPE fast-pool detection vs daily pools.
+			detectedDyn := iputil.NewSet()
+			for _, p := range s.RIPE.DynamicPrefixes.Sorted() {
+				detectedDyn.Add(p.Base())
+			}
+			trueDyn := iputil.NewSet()
+			for _, p := range s.World.TrueFastDynamic.Sorted() {
+				trueDyn.Add(p.Base())
+			}
+			r.RIPEScore = analysis.Score(detectedDyn, trueDyn)
+		},
+		func() {
+			// The published reused-address list:
+			// blocklisted ∩ (NATed ∪ dynamic).
+			r.ReusedAddrs = iputil.NewSet()
+			for _, a := range s.World.Collection.AllAddrs().Sorted() {
+				if detectedNAT.Contains(a) || s.RIPE.DynamicPrefixes.Covers(a) {
+					r.ReusedAddrs.Add(a)
+				}
+			}
+		},
+	)
 	return r
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/analysis"
@@ -10,6 +11,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/icmpsurvey"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/netsim"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/ripeatlas"
 	"github.com/reuseblock/reuseblock/internal/survey"
 )
@@ -50,6 +52,16 @@ type Config struct {
 	// feed-only statistics); the corresponding results stay empty.
 	SkipCrawl bool
 	SkipICMP  bool
+
+	// Workers bounds the parallelism of every deterministic fan-out in the
+	// study: the independent measurement stages (crawl, RIPE pipeline,
+	// ICMP baseline, survey), the per-vantage crawl simulations, feed
+	// generation, the ICMP block shards, the analysis joins, and the
+	// report's figure/table DAG. Each unit of work is seeded and collected
+	// independently of scheduling, so output is bit-for-bit identical for
+	// any value. Default (<= 0) is GOMAXPROCS; 1 forces the legacy
+	// sequential path with no goroutines.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -76,6 +88,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Vantages <= 0 {
 		c.Vantages = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -104,6 +119,9 @@ func NewStudy(cfg Config) *Study {
 	} else {
 		wp = blgen.DefaultParams(cfg.Seed)
 	}
+	if wp.Workers == 0 {
+		wp.Workers = cfg.Workers
+	}
 	return &Study{Config: cfg, World: blgen.Generate(wp)}
 }
 
@@ -115,90 +133,45 @@ func NewStudyFromWorld(w *blgen.World, cfg Config) *Study {
 }
 
 // Run executes every stage and returns the full report.
+//
+// Stages 1–4 (crawl, RIPE pipeline, ICMP baseline, survey) only read the
+// world and write disjoint Study fields, so they run concurrently under
+// Config.Workers; stage 5 joins their outputs. With Workers == 1 the stages
+// run inline in the legacy order and the output is identical either way.
 func (s *Study) Run() (*Report, error) {
 	w := s.World
 
-	// Stage 1: the BitTorrent crawl over the simulated network.
 	natUsers := make(map[iputil.Addr]int)
 	s.BTObserved = iputil.NewSet()
-	if !s.Config.SkipCrawl {
-		scopeSet := w.BlocklistedSpace()
-		var scope func(iputil.Addr) bool
-		if !s.Config.ScopeAll {
-			scope = scopeSet.Covers
-		}
-		swarm, err := BuildSwarm(w, SwarmConfig{
-			Loss:           s.Config.Loss,
-			Seed:           s.Config.Seed,
-			RestartsPerDay: s.Config.RestartsPerDay,
-			ChurnHorizon:   s.Config.CrawlDuration,
-		}, scopeSet.Covers)
-		if err != nil {
-			return nil, err
-		}
-		// One or more crawler vantage points in distinct networks
-		// (198.18.0.0/15 is benchmarking space — our measurement hosts).
-		var crawlers []*crawler.Crawler
-		for v := 0; v < s.Config.Vantages; v++ {
-			sock, err := swarm.Net.Listen(netsim.Endpoint{
-				Addr: iputil.AddrFrom4(198, 18, byte(v), 1), Port: 9999,
+	var crawlErr error
+	parallel.Do(s.Config.Workers,
+		// Stage 1: the BitTorrent crawl over the simulated network.
+		func() { crawlErr = s.runCrawl(natUsers) },
+		// Stage 2: the RIPE dynamic-address pipeline over the fleet logs.
+		func() { s.RIPE = ripeatlas.Detect(w.RIPELogs, ripeatlas.DetectOptions{}) },
+		// Stage 3: the Cai et al. ICMP baseline over sampled blocks.
+		func() {
+			if s.Config.SkipICMP {
+				return
+			}
+			s.Cai = icmpsurvey.Run(w, icmpsurvey.Config{
+				Blocks:   s.sampleBlocks(),
+				Start:    w.RIPEStart,
+				Duration: s.Config.SurveyDuration,
+				Interval: s.Config.SurveyInterval,
+				Workers:  s.Config.Workers,
 			})
-			if err != nil {
-				return nil, err
-			}
-			crawlers = append(crawlers, crawler.New(sock, dht.SimClock(swarm.Clock), crawler.Config{
-				Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
-				Scope:     scope,
-				Seed:      s.Config.Seed ^ 0x4352574c ^ int64(v)<<32, // "CRWL"
-			}))
-		}
-		// Let NATed users' mappings open before crawling starts.
-		swarm.Clock.RunFor(time.Minute)
-		for _, c := range crawlers {
-			c.Start()
-		}
-		swarm.Clock.RunFor(s.Config.CrawlDuration)
-		var statParts []crawler.Stats
-		var obsParts [][]crawler.NATObservation
-		for _, c := range crawlers {
-			c.Stop()
-			statParts = append(statParts, c.Stats())
-			obsParts = append(obsParts, c.NATed())
-			s.BTObserved.AddSet(c.ObservedIPs())
-		}
-		s.NATed = crawler.MergeObservations(obsParts...)
-		s.CrawlStats = crawler.MergeStats(statParts...)
-		s.CrawlStats.UniqueIPs = s.BTObserved.Len()
-		uniqueIDs := 0
-		for _, p := range statParts {
-			if p.UniqueNodeIDs > uniqueIDs {
-				uniqueIDs = p.UniqueNodeIDs
-			}
-		}
-		s.CrawlStats.UniqueNodeIDs = uniqueIDs
-		s.CrawlStats.NATedIPs = len(s.NATed)
-		for _, o := range s.NATed {
-			natUsers[o.Addr] = o.Users
-		}
+		},
+		// Stage 4: the operator survey tabulations.
+		func() {
+			responses := survey.StandardResponses(s.Config.Seed)
+			s.Survey = survey.Summarize(responses)
+			s.TypeUsage = survey.TypesAmongAffected(responses)
+		},
+	)
+	if crawlErr != nil {
+		return nil, crawlErr
 	}
-
-	// Stage 2: the RIPE dynamic-address pipeline over the fleet logs.
-	s.RIPE = ripeatlas.Detect(w.RIPELogs, ripeatlas.DetectOptions{})
-
-	// Stage 3: the Cai et al. ICMP baseline over sampled blocks.
-	if !s.Config.SkipICMP {
-		s.Cai = icmpsurvey.Run(w, icmpsurvey.Config{
-			Blocks:   s.sampleBlocks(),
-			Start:    w.RIPEStart,
-			Duration: s.Config.SurveyDuration,
-			Interval: s.Config.SurveyInterval,
-		})
-	}
-
-	// Stage 4: the operator survey tabulations.
-	responses := survey.StandardResponses(s.Config.Seed)
-	s.Survey = survey.Summarize(responses)
-	s.TypeUsage = survey.TypesAmongAffected(responses)
 
 	// Stage 5: joins.
 	s.Inputs = &analysis.Inputs{
@@ -207,6 +180,7 @@ func (s *Study) Run() (*Report, error) {
 		BTObserved:      s.BTObserved,
 		DynamicPrefixes: s.RIPE.DynamicPrefixes,
 		RIPEPrefixes:    s.RIPE.RIPEPrefixes,
+		Workers:         s.Config.Workers,
 		ASNOf: func(a iputil.Addr) (int, bool) {
 			pi, ok := w.PrefixOf(a)
 			if !ok {
@@ -219,6 +193,87 @@ func (s *Study) Run() (*Report, error) {
 		s.Inputs.CaiBlocks = s.Cai.DynamicBlocks
 	}
 	return s.buildReport(), nil
+}
+
+// vantageRun is one crawler vantage point's complete output.
+type vantageRun struct {
+	stats crawler.Stats
+	obs   []crawler.NATObservation
+	ips   *iputil.Set
+	err   error
+}
+
+// runCrawl runs the crawl stage: Config.Vantages crawler vantage points in
+// distinct networks (198.18.0.0/15 is benchmarking space — our measurement
+// hosts). Each vantage drives its own simulator instance — netsim is
+// single-threaded, so one goroutine per instance is the only safe shape —
+// seeded only by (Config.Seed, vantage index), and the per-vantage results
+// merge in vantage order, so the outcome is independent of scheduling.
+func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
+	if s.Config.SkipCrawl {
+		return nil
+	}
+	w := s.World
+	scopeSet := w.BlocklistedSpace()
+	var scope func(iputil.Addr) bool
+	if !s.Config.ScopeAll {
+		scope = scopeSet.Covers
+	}
+	runs := parallel.Map(s.Config.Workers, s.Config.Vantages, func(v int) vantageRun {
+		// Vantage 0 reuses the plain study seed so a single-vantage run
+		// reproduces the original single-swarm results exactly.
+		swarm, err := BuildSwarm(w, SwarmConfig{
+			Loss:           s.Config.Loss,
+			Seed:           s.Config.Seed ^ int64(v)<<20,
+			RestartsPerDay: s.Config.RestartsPerDay,
+			ChurnHorizon:   s.Config.CrawlDuration,
+		}, scopeSet.Covers)
+		if err != nil {
+			return vantageRun{err: err}
+		}
+		sock, err := swarm.Net.Listen(netsim.Endpoint{
+			Addr: iputil.AddrFrom4(198, 18, byte(v), 1), Port: 9999,
+		})
+		if err != nil {
+			return vantageRun{err: err}
+		}
+		c := crawler.New(sock, dht.SimClock(swarm.Clock), crawler.Config{
+			Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
+			Scope:     scope,
+			Seed:      s.Config.Seed ^ 0x4352574c ^ int64(v)<<32, // "CRWL"
+		})
+		// Let NATed users' mappings open before crawling starts.
+		swarm.Clock.RunFor(time.Minute)
+		c.Start()
+		swarm.Clock.RunFor(s.Config.CrawlDuration)
+		c.Stop()
+		return vantageRun{stats: c.Stats(), obs: c.NATed(), ips: c.ObservedIPs()}
+	})
+	var statParts []crawler.Stats
+	var obsParts [][]crawler.NATObservation
+	for _, r := range runs {
+		if r.err != nil {
+			return r.err
+		}
+		statParts = append(statParts, r.stats)
+		obsParts = append(obsParts, r.obs)
+		s.BTObserved.AddSet(r.ips)
+	}
+	s.NATed = crawler.MergeObservations(obsParts...)
+	s.CrawlStats = crawler.MergeStats(statParts...)
+	s.CrawlStats.UniqueIPs = s.BTObserved.Len()
+	uniqueIDs := 0
+	for _, p := range statParts {
+		if p.UniqueNodeIDs > uniqueIDs {
+			uniqueIDs = p.UniqueNodeIDs
+		}
+	}
+	s.CrawlStats.UniqueNodeIDs = uniqueIDs
+	s.CrawlStats.NATedIPs = len(s.NATed)
+	for _, o := range s.NATed {
+		natUsers[o.Addr] = o.Users
+	}
+	return nil
 }
 
 // sampleBlocks picks the ICMP survey's block sample deterministically: every

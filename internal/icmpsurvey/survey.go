@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/parallel"
 )
 
 // Responder answers whether addr would reply to an ICMP ECHO at time t.
@@ -56,6 +57,13 @@ type Config struct {
 	// availability at or below this (stable servers have A ≈ 1).
 	// Default 0.95.
 	MaxAvailability float64
+
+	// Workers bounds how many blocks are surveyed concurrently. Blocks
+	// are independent — the Responder must answer concurrent calls, which
+	// holds for the pure world responder — and per-block results merge in
+	// block order, so the output is identical for any value. <= 0 means
+	// GOMAXPROCS; 1 surveys sequentially.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -109,7 +117,18 @@ type Result struct {
 	ProbesSent int64
 }
 
-// Run executes the survey.
+// blockResult is one block's complete survey output, self-contained so
+// blocks can be surveyed concurrently and merged in block order.
+type blockResult struct {
+	summary    BlockSummary
+	perAddr    map[iputil.Addr]*Metrics
+	probesSent int64
+}
+
+// Run executes the survey. Blocks are sharded across cfg.Workers; each
+// block's probes and metrics depend only on (block, cfg, Responder), and
+// per-block outputs merge in block order, so the result does not depend on
+// the worker count.
 func Run(r Responder, cfg Config) *Result {
 	cfg.applyDefaults()
 	res := &Result{
@@ -120,12 +139,18 @@ func Run(r Responder, cfg Config) *Result {
 	if steps < 1 {
 		steps = 1
 	}
-	for _, block := range cfg.Blocks {
-		summary := surveyBlock(r, block, cfg, steps, res)
-		res.Blocks = append(res.Blocks, summary)
-		if summary.Dynamic {
-			res.DynamicBlocks.Add(block)
+	parts := parallel.Map(cfg.Workers, len(cfg.Blocks), func(i int) blockResult {
+		return surveyBlock(r, cfg.Blocks[i], cfg, steps)
+	})
+	for _, part := range parts {
+		res.Blocks = append(res.Blocks, part.summary)
+		if part.summary.Dynamic {
+			res.DynamicBlocks.Add(part.summary.Block)
 		}
+		for a, m := range part.perAddr {
+			res.PerAddr[a] = m
+		}
+		res.ProbesSent += part.probesSent
 	}
 	sort.Slice(res.Blocks, func(i, j int) bool {
 		return res.Blocks[i].Block.Base() < res.Blocks[j].Block.Base()
@@ -133,20 +158,21 @@ func Run(r Responder, cfg Config) *Result {
 	return res
 }
 
-func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int, res *Result) BlockSummary {
+func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int) blockResult {
 	type state struct {
 		m      *Metrics
 		up     bool
 		runLen int
 		runs   []int
 	}
+	out := blockResult{perAddr: make(map[iputil.Addr]*Metrics)}
 	states := make([]state, block.Size())
 	for s := 0; s < steps; s++ {
 		at := cfg.Start.Add(time.Duration(s) * cfg.Interval)
 		for i := 0; i < block.Size(); i++ {
 			addr := block.Nth(i)
 			replies := r.Responds(addr, at)
-			res.ProbesSent++
+			out.probesSent++
 			st := &states[i]
 			if st.m == nil {
 				st.m = &Metrics{}
@@ -185,7 +211,7 @@ func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int, res *R
 			st.m.V = float64(st.m.Transitions) / float64(st.m.Probes-1)
 		}
 		st.m.MedianUptime = medianRun(st.runs, cfg.Interval)
-		res.PerAddr[block.Nth(i)] = st.m
+		out.perAddr[block.Nth(i)] = st.m
 		summary.Responsive++
 		availabilities = append(availabilities, st.m.A)
 		medUptimes = append(medUptimes, st.m.MedianUptime)
@@ -202,7 +228,8 @@ func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int, res *R
 	summary.Dynamic = summary.Responsive >= cfg.MinResponsive &&
 		summary.MedianUptime <= cfg.MaxMedianUptime &&
 		summary.MeanA <= cfg.MaxAvailability
-	return summary
+	out.summary = summary
+	return out
 }
 
 func medianRun(runs []int, interval time.Duration) time.Duration {

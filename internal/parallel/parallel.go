@@ -1,0 +1,130 @@
+// Package parallel provides the deterministic fan-out primitives the study
+// pipeline is built on: bounded worker pools whose results are collected in
+// index order. Any computation whose per-item work is independent of the
+// other items (per-feed generation, per-vantage crawls, per-shard joins)
+// produces bit-for-bit identical output no matter how many workers execute
+// it — the scheduler decides *when* an item runs, never *what* it computes
+// or *where* its result lands.
+//
+// The contract callers must uphold for determinism:
+//
+//   - fn(i) depends only on i and on state that no other fn mutates;
+//   - merged quantities are combined in index order, or are commutative and
+//     associative (sums, maxima, set unions), so shard boundaries cannot
+//     show through.
+//
+// With workers == 1 every helper degrades to a plain sequential loop on the
+// calling goroutine — the legacy single-core path, with no goroutines
+// spawned at all.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS); positive values are returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map computes fn(0), ..., fn(n-1) on at most workers goroutines and
+// returns the results in index order: out[i] == fn(i) regardless of
+// schedule. workers <= 0 selects GOMAXPROCS; with one worker (or one item)
+// fn runs inline on the calling goroutine. A panic in any fn is re-raised
+// on the calling goroutine after the pool drains.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return out
+}
+
+// ForEach runs fn(0), ..., fn(n-1) on at most workers goroutines, for
+// callers that collect results through fn's captured state (each index
+// writing a distinct slot).
+func ForEach(workers, n int, fn func(int)) {
+	Map(workers, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}
+
+// Do runs heterogeneous tasks on at most workers goroutines — the fan-out
+// step of a task DAG whose tasks have no edges between them. With one
+// worker the tasks run inline in argument order (the legacy sequential
+// stage order).
+func Do(workers int, tasks ...func()) {
+	ForEach(workers, len(tasks), func(i int) { tasks[i]() })
+}
+
+// Chunks splits n items into at most k contiguous [lo, hi) index ranges of
+// near-equal size, in order. It never returns an empty range; with n == 0
+// it returns nil. Shard-and-merge callers iterate the ranges in order so a
+// different k cannot reorder their merge.
+func Chunks(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Errorf("Map over zero items = %v, want nil", out)
+	}
+	if out := Map(4, -3, func(i int) int { return i }); out != nil {
+		t.Errorf("Map over negative items = %v, want nil", out)
+	}
+}
+
+func TestMapEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var calls [n]atomic.Int32
+	Map(8, n, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("index %d called %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	Map(workers, 200, func(i int) struct{} {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapSequentialStaysOnCallerGoroutine(t *testing.T) {
+	// workers == 1 must not spawn goroutines: fn can safely use state owned
+	// by the calling goroutine (the legacy path's contract).
+	order := make([]int, 0, 10)
+	Map(1, 10, func(i int) struct{} {
+		order = append(order, i)
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in worker not propagated")
+		}
+	}()
+	Map(4, 100, func(i int) int {
+		if i == 37 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var a, b, c atomic.Int32
+		Do(workers,
+			func() { a.Add(1) },
+			func() { b.Add(1) },
+			func() { c.Add(1) },
+		)
+		if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+			t.Fatalf("workers=%d: tasks ran %d/%d/%d times", workers, a.Load(), b.Load(), c.Load())
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-5); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Errorf("Workers(7) = %d", w)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 2}, {100, 7}, {3, 100}, {10, 0},
+	}
+	for _, c := range cases {
+		chunks := Chunks(c.n, c.k)
+		covered := 0
+		prevHi := 0
+		for _, ch := range chunks {
+			if ch[0] != prevHi {
+				t.Fatalf("Chunks(%d,%d): gap or overlap at %v", c.n, c.k, ch)
+			}
+			if ch[1] <= ch[0] {
+				t.Fatalf("Chunks(%d,%d): empty range %v", c.n, c.k, ch)
+			}
+			covered += ch[1] - ch[0]
+			prevHi = ch[1]
+		}
+		if covered != max(c.n, 0) {
+			t.Fatalf("Chunks(%d,%d) covers %d items", c.n, c.k, covered)
+		}
+		if c.n > 0 && len(chunks) > c.n {
+			t.Fatalf("Chunks(%d,%d): %d chunks exceed item count", c.n, c.k, len(chunks))
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+// Benchmark for the parallel study pipeline: the same multi-vantage study
+// at 1/2/4/8 workers. Wall-clock scaling depends on the host's CPU count
+// (a single-CPU runner shows ~1x regardless of workers), so the recorded
+// BENCH_parallel.json includes NumCPU alongside the timings.
+package reuseblock_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/core"
+)
+
+// parallelBenchResult is one worker count's measurement in BENCH_parallel.json.
+type parallelBenchResult struct {
+	Workers   int     `json:"workers"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	SpeedupX1 float64 `json:"speedup_vs_workers1"`
+}
+
+// BenchmarkStudyParallel runs the crawl-dominated study (4 vantages, 6h of
+// simulated time, default-scale world) at increasing worker counts and
+// records the scaling curve to BENCH_parallel.json.
+func BenchmarkStudyParallel(b *testing.B) {
+	wp := blgen.DefaultParams(1)
+	w := blgen.Generate(wp)
+	counts := []int{1, 2, 4, 8}
+	nsPerOp := make(map[int]int64)
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewStudyFromWorld(w, core.Config{
+					Seed:          1,
+					CrawlDuration: 6 * time.Hour,
+					Vantages:      4,
+					Workers:       workers,
+					SkipICMP:      false,
+				})
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp[workers] = b.Elapsed().Nanoseconds() / int64(b.N)
+		})
+	}
+	var results []parallelBenchResult
+	base := nsPerOp[1]
+	for _, workers := range counts {
+		ns := nsPerOp[workers]
+		if ns == 0 {
+			continue
+		}
+		results = append(results, parallelBenchResult{
+			Workers:   workers,
+			NsPerOp:   ns,
+			SpeedupX1: float64(base) / float64(ns),
+		})
+	}
+	out := struct {
+		Benchmark  string                `json:"benchmark"`
+		NumCPU     int                   `json:"num_cpu"`
+		GOMAXPROCS int                   `json:"gomaxprocs"`
+		Vantages   int                   `json:"vantages"`
+		CrawlHours int                   `json:"crawl_hours"`
+		Results    []parallelBenchResult `json:"results"`
+	}{
+		Benchmark:  "BenchmarkStudyParallel",
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Vantages:   4,
+		CrawlHours: 6,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
