@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-out FILE]
+//	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-faults SCENARIO] [-out FILE]
 //	blcrawl -real 50 [-duration DUR]
 package main
 
@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/core"
 	"github.com/reuseblock/reuseblock/internal/crawler"
 	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/faults"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/krpc"
 	"github.com/reuseblock/reuseblock/internal/netsim"
@@ -49,9 +51,14 @@ func main() {
 		realN    = flag.Int("real", 0, "run against N real DHT nodes on loopback UDP instead of the simulator")
 		replay   = flag.String("replay", "", "post-process an existing message log instead of crawling")
 		window   = flag.Duration("window", 30*time.Second, "ping-window for -replay scoring")
+		faultScn = flag.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
 	)
 	flag.Parse()
 
+	scenario, err := faults.Lookup(*faultScn)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *replay != "" {
 		runReplay(*replay, *window)
 		return
@@ -60,7 +67,7 @@ func main() {
 		runReal(*realN, *duration)
 		return
 	}
-	runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog)
+	runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario)
 }
 
 // runReplay reproduces NAT determination offline from a message log — the
@@ -82,14 +89,19 @@ func runReplay(path string, window time.Duration) {
 	}
 }
 
-func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string) {
+func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario) {
 	wp := blgen.DefaultParams(seed)
 	wp.Scale = scale
 	w := blgen.Generate(wp)
 	fmt.Fprintf(os.Stderr, "world: %d BT users, %d NAT gateways\n", len(w.BTUsers), len(w.NATs))
 
 	scope := w.BlocklistedSpace()
-	swarm, err := core.BuildSwarm(w, core.SwarmConfig{Loss: loss, Seed: seed}, scope.Covers)
+	swarm, err := core.BuildSwarm(w, core.SwarmConfig{
+		Loss:         loss,
+		Seed:         seed,
+		ChurnHorizon: duration,
+		Faults:       scenario,
+	}, scope.Covers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +113,13 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 		Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
 		Scope:     scope.Covers,
 		Seed:      seed,
+	}
+	if scenario != nil {
+		// Under faults the crawler fights back: retries with backoff and
+		// eviction of persistently dead endpoints.
+		ccfg.MaxRetries = 2
+		ccfg.RetryBase = 2 * time.Second
+		ccfg.EvictAfter = 4
 	}
 	if msgLog != "" {
 		lf, err := os.Create(msgLog)
@@ -131,6 +150,15 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 	fmt.Printf("unique node IDs:    %d\n", st.UniqueNodeIDs)
 	fmt.Printf("multi-port IPs:     %d\n", st.MultiPortIPs)
 	fmt.Printf("NATed IPs:          %d (max %d simultaneous users)\n", st.NATedIPs, st.SimultaneousMax)
+	if scenario != nil {
+		fmt.Printf("resilience:         %d retries, %d late replies, %d endpoints evicted\n",
+			st.Retries, st.LateReplies, st.Evicted)
+		if swarm.Injector != nil {
+			fs := swarm.Injector.Stats()
+			fmt.Printf("%-20s%d burst-dropped, %d blackout-dropped, %d rate-limited, %d corrupted\n",
+				"faults ("+scenario.Name+"):", fs.BurstDropped, fs.BlackoutDropped, fs.RateLimited, fs.Corrupted)
+		}
+	}
 
 	detected := iputil.NewSet()
 	truePositives := 0

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	blreport [-seed N] [-scale F] [-crawl DUR] [-workers N] [-skip-crawl]
-//	         [-skip-icmp] [-reused-out FILE]
+//	         [-skip-icmp] [-faults SCENARIO] [-reused-out FILE]
 package main
 
 import (
@@ -15,10 +15,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/blgen"
 	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/faults"
 	"github.com/reuseblock/reuseblock/internal/stats"
 	"github.com/reuseblock/reuseblock/internal/svgplot"
 )
@@ -35,8 +37,14 @@ func main() {
 		reusedOut = flag.String("reused-out", "", "write the reused-address list to this file")
 		svgDir    = flag.String("svg", "", "also render every figure as SVG into this directory")
 		workers   = flag.Int("workers", 0, "worker goroutines for the deterministic fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		faultScn  = flag.String("faults", "", "fault scenario to inject (one of: "+strings.Join(faults.Names(), ", ")+")")
 	)
 	flag.Parse()
+
+	scenario, err := faults.Lookup(*faultScn)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	wp := blgen.DefaultParams(*seed)
 	wp.Scale = *scale
@@ -47,6 +55,7 @@ func main() {
 		SkipCrawl:     *skipCrawl,
 		SkipICMP:      *skipICMP,
 		Workers:       *workers,
+		Faults:        scenario,
 	}
 
 	start := time.Now()

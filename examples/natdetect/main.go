@@ -19,12 +19,15 @@ import (
 
 func main() {
 	clock := netsim.NewClock()
-	network := netsim.NewNetwork(clock, netsim.Config{
+	network, err := netsim.NewNetwork(clock, netsim.Config{
 		Loss:          0.1,
 		LatencyBase:   15 * time.Millisecond,
 		LatencyJitter: 30 * time.Millisecond,
 		Seed:          7,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Twelve public BitTorrent users.
 	var nodes []*dht.Node

@@ -261,6 +261,9 @@ func (r *Report) Render() string {
 		r.SummaryTable().Render(),
 		r.GroundTruthTable().Render(),
 	}
+	if r.study.Degradation != nil {
+		sections = append(sections, r.DegradationTable().Render())
+	}
 	for _, s := range sections {
 		b.WriteString(s)
 		b.WriteByte('\n')

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/blgen"
 	"github.com/reuseblock/reuseblock/internal/crawler"
 	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/faults"
 	"github.com/reuseblock/reuseblock/internal/icmpsurvey"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/netsim"
@@ -52,6 +54,15 @@ type Config struct {
 	// feed-only statistics); the corresponding results stay empty.
 	SkipCrawl bool
 	SkipICMP  bool
+
+	// Faults injects a scripted fault scenario into the run (see
+	// internal/faults): wire-level faults shape every vantage's network,
+	// byzantine marking and restart storms shape the swarm, and ICMP
+	// faults shape the Cai baseline. The crawler gains retries and
+	// endpoint eviction, failed vantages degrade to partial results, and
+	// the report carries a Degradation section. Nil (the default) changes
+	// nothing: output stays byte-identical to a fault-free run.
+	Faults *faults.Scenario
 
 	// Workers bounds the parallelism of every deterministic fan-out in the
 	// study: the independent measurement stages (crawl, RIPE pipeline,
@@ -108,6 +119,14 @@ type Study struct {
 	Survey     survey.Summary
 	TypeUsage  []survey.TypeUsage
 	Inputs     *analysis.Inputs
+	// Degradation explains what a fault scenario did to this run; nil for
+	// fault-free runs. FaultStats sums the wire-level injector counters
+	// across vantages.
+	Degradation *Degradation
+	FaultStats  faults.Stats
+
+	// crawlStages records per-vantage outcomes for the degradation report.
+	crawlStages []StageReport
 }
 
 // NewStudy generates the world for a study.
@@ -140,6 +159,9 @@ func NewStudyFromWorld(w *blgen.World, cfg Config) *Study {
 // run inline in the legacy order and the output is identical either way.
 func (s *Study) Run() (*Report, error) {
 	w := s.World
+	if err := s.Config.Faults.Validate(); err != nil {
+		return nil, err
+	}
 
 	natUsers := make(map[iputil.Addr]int)
 	s.BTObserved = iputil.NewSet()
@@ -154,13 +176,19 @@ func (s *Study) Run() (*Report, error) {
 			if s.Config.SkipICMP {
 				return
 			}
-			s.Cai = icmpsurvey.Run(w, icmpsurvey.Config{
+			icmpCfg := icmpsurvey.Config{
 				Blocks:   s.sampleBlocks(),
 				Start:    w.RIPEStart,
 				Duration: s.Config.SurveyDuration,
 				Interval: s.Config.SurveyInterval,
 				Workers:  s.Config.Workers,
-			})
+			}
+			if f := s.Config.Faults; f != nil && f.ICMP != nil {
+				icmpCfg.ProbeLoss = f.ICMP.ProbeLoss
+				icmpCfg.Retransmits = f.ICMP.Retransmits
+				icmpCfg.Seed = s.Config.Seed ^ 0x49434d50 // "ICMP"
+			}
+			s.Cai = icmpsurvey.Run(w, icmpCfg)
 		},
 		// Stage 4: the operator survey tabulations.
 		func() {
@@ -192,15 +220,17 @@ func (s *Study) Run() (*Report, error) {
 	if s.Cai != nil {
 		s.Inputs.CaiBlocks = s.Cai.DynamicBlocks
 	}
+	s.Degradation = s.buildDegradation()
 	return s.buildReport(), nil
 }
 
 // vantageRun is one crawler vantage point's complete output.
 type vantageRun struct {
-	stats crawler.Stats
-	obs   []crawler.NATObservation
-	ips   *iputil.Set
-	err   error
+	stats  crawler.Stats
+	obs    []crawler.NATObservation
+	ips    *iputil.Set
+	faults faults.Stats
+	err    error
 }
 
 // runCrawl runs the crawl stage: Config.Vantages crawler vantage points in
@@ -227,6 +257,7 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 			Seed:           s.Config.Seed ^ int64(v)<<20,
 			RestartsPerDay: s.Config.RestartsPerDay,
 			ChurnHorizon:   s.Config.CrawlDuration,
+			Faults:         s.Config.Faults,
 		}, scopeSet.Covers)
 		if err != nil {
 			return vantageRun{err: err}
@@ -237,28 +268,69 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 		if err != nil {
 			return vantageRun{err: err}
 		}
-		c := crawler.New(sock, dht.SimClock(swarm.Clock), crawler.Config{
+		crawlCfg := crawler.Config{
 			Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
 			Scope:     scope,
 			Seed:      s.Config.Seed ^ 0x4352574c ^ int64(v)<<32, // "CRWL"
-		})
+		}
+		if s.Config.Faults != nil {
+			// Resilience policy under faults: bounded retries with backoff
+			// and eviction of persistently dead endpoints. Off by default
+			// so fault-free runs reproduce the original byte stream.
+			crawlCfg.MaxRetries = 2
+			crawlCfg.RetryBase = 2 * time.Second
+			crawlCfg.EvictAfter = 4
+		}
+		c := crawler.New(sock, dht.SimClock(swarm.Clock), crawlCfg)
 		// Let NATed users' mappings open before crawling starts.
 		swarm.Clock.RunFor(time.Minute)
 		c.Start()
 		swarm.Clock.RunFor(s.Config.CrawlDuration)
 		c.Stop()
-		return vantageRun{stats: c.Stats(), obs: c.NATed(), ips: c.ObservedIPs()}
+		return vantageRun{stats: c.Stats(), obs: c.NATed(), ips: c.ObservedIPs(),
+			faults: swarm.Injector.Stats()}
 	})
 	var statParts []crawler.Stats
 	var obsParts [][]crawler.NATObservation
-	for _, r := range runs {
+	var faultParts []faults.Stats
+	salvage := s.Config.Faults != nil
+	survivors := 0
+	for v, r := range runs {
 		if r.err != nil {
-			return r.err
+			// Under a fault scenario a dead vantage degrades the study
+			// instead of aborting it; the report carries the loss.
+			if !salvage {
+				return r.err
+			}
+			s.crawlStages = append(s.crawlStages, StageReport{
+				Stage:  fmt.Sprintf("crawl vantage %d", v),
+				Status: "failed",
+				Detail: r.err.Error(),
+			})
+			continue
+		}
+		survivors++
+		if salvage {
+			status := "ok"
+			if r.stats.ResponseRate < respRateFloor {
+				status = "degraded"
+			}
+			s.crawlStages = append(s.crawlStages, StageReport{
+				Stage:  fmt.Sprintf("crawl vantage %d", v),
+				Status: status,
+				Detail: fmt.Sprintf("%.1f%% response rate, %d fault drops, %d retries, %d evicted",
+					r.stats.ResponseRate*100, r.faults.Total(), r.stats.Retries, r.stats.Evicted),
+			})
 		}
 		statParts = append(statParts, r.stats)
 		obsParts = append(obsParts, r.obs)
+		faultParts = append(faultParts, r.faults)
 		s.BTObserved.AddSet(r.ips)
 	}
+	if survivors == 0 {
+		return fmt.Errorf("core: all %d crawl vantages failed", s.Config.Vantages)
+	}
+	s.FaultStats = sumFaultStats(faultParts)
 	s.NATed = crawler.MergeObservations(obsParts...)
 	s.CrawlStats = crawler.MergeStats(statParts...)
 	s.CrawlStats.UniqueIPs = s.BTObserved.Len()

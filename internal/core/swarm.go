@@ -13,6 +13,7 @@ import (
 
 	"github.com/reuseblock/reuseblock/internal/blgen"
 	"github.com/reuseblock/reuseblock/internal/dht"
+	"github.com/reuseblock/reuseblock/internal/faults"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/krpc"
 	"github.com/reuseblock/reuseblock/internal/netsim"
@@ -28,6 +29,8 @@ type Swarm struct {
 	// Bootstrap is the crawler's entry point (a long-lived public node
 	// inside the blocklisted address space when possible).
 	Bootstrap netsim.Endpoint
+	// Injector is the wire-level fault injector, nil on fault-free swarms.
+	Injector *faults.Injector
 }
 
 // SwarmConfig tunes swarm instantiation.
@@ -51,6 +54,11 @@ type SwarmConfig struct {
 	// the planned crawl duration; default 48 h).
 	ChurnHorizon time.Duration
 	Seed         int64
+	// Faults scripts scenario misbehaviour into the swarm: wire faults
+	// install on the network, a Byzantine fraction of users fabricate
+	// find_node neighbours, and restart storms churn public users at the
+	// scripted instants. Nil changes nothing.
+	Faults *faults.Scenario
 }
 
 func (c *SwarmConfig) applyDefaults() {
@@ -78,15 +86,28 @@ func (c *SwarmConfig) applyDefaults() {
 func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool) (*Swarm, error) {
 	cfg.applyDefaults()
 	clock := netsim.NewClock()
-	net := netsim.NewNetwork(clock, netsim.Config{
+	inj, err := faults.NewInjector(cfg.Faults, cfg.Seed^0x464c5453, clock) // "FLTS"
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	netCfg := netsim.Config{
 		Loss:          cfg.Loss,
 		LatencyBase:   cfg.LatencyBase,
 		LatencyJitter: cfg.LatencyJitter,
 		Seed:          cfg.Seed ^ 0x4e455453, // "NETS"
-	})
-	s := &Swarm{Clock: clock, Net: net, NATs: make(map[iputil.Addr]*netsim.NAT)}
+	}
+	inj.Install(&netCfg)
+	net, err := netsim.NewNetwork(clock, netCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Swarm{Clock: clock, Net: net, NATs: make(map[iputil.Addr]*netsim.NAT), Injector: inj}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5357524d)) // "SWRM"
 
+	var byz *faults.Byzantine
+	if cfg.Faults != nil {
+		byz = cfg.Faults.Byzantine
+	}
 	for _, u := range w.BTUsers {
 		var sock netsim.Socket
 		var err error
@@ -123,6 +144,13 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 		}
 		if u.BehindNAT {
 			nodeCfg.KeepaliveInterval = cfg.NATKeepalive
+		}
+		// Hash-selected byzantine users fabricate find_node neighbours;
+		// the selection is a pure function of (seed, user ID), so it is
+		// identical for any worker count.
+		if byz != nil && faults.Selected(cfg.Seed^0x42595a, uint64(u.ID), byz.Frac) { // "BYZ"
+			nodeCfg.Byzantine = true
+			nodeCfg.ByzantineNodes = byz.Nodes
 		}
 		node := dht.NewNode(sock, dht.SimClock(clock), nodeCfg)
 		s.Nodes = append(s.Nodes, node)
@@ -170,6 +198,20 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 			for at < horizon {
 				s.scheduleRestart(w, j, at, rng.Int63())
 				at += time.Duration(rng.ExpFloat64() * float64(meanGap))
+			}
+		}
+	}
+
+	// Restart storms: at each scripted instant a hash-selected fraction
+	// of public users restart simultaneously — the stale-information
+	// confound of §3.1 at its worst.
+	if cfg.Faults != nil {
+		for i, st := range cfg.Faults.Storms {
+			stormKey := cfg.Seed ^ 0x53544f52 ^ int64(i)<<48 // "STOR"
+			for _, j := range publicIdx {
+				if faults.Selected(stormKey, uint64(w.BTUsers[j].ID), st.Frac) {
+					s.scheduleRestart(w, j, st.At, stormKey^int64(w.BTUsers[j].ID)*7919)
+				}
 			}
 		}
 	}

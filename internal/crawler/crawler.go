@@ -52,6 +52,20 @@ type Config struct {
 	BatchPerTick int
 	// QueryTimeout bounds response waits.
 	QueryTimeout time.Duration
+	// MaxRetries is how many extra transmissions a query gets after a
+	// timeout before it is scored a failure. Retries back off
+	// exponentially from RetryBase with deterministic jitter drawn from
+	// the crawler RNG. Zero (the default) disables retries entirely: a
+	// fault-free crawl issues exactly the same messages and consumes
+	// exactly the same RNG draws as before this knob existed.
+	MaxRetries int
+	// RetryBase is the first retry's backoff; doubling per attempt.
+	// Defaults to 1s when MaxRetries > 0.
+	RetryBase time.Duration
+	// EvictAfter evicts an endpoint from the discovery frontier once this
+	// many consecutive queries to it failed (all retries exhausted); any
+	// reply — even a late one — resurrects it. Zero disables eviction.
+	EvictAfter int
 	// Seed drives the crawler's RNG (lookup targets, transaction IDs).
 	Seed int64
 	// EventLog, when non-nil, receives one line per message sent and
@@ -82,6 +96,9 @@ func (c *Config) applyDefaults() {
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 5 * time.Second
 	}
+	if c.MaxRetries > 0 && c.RetryBase <= 0 {
+		c.RetryBase = time.Second
+	}
 }
 
 // Stats mirrors the crawl statistics reported in §4 of the paper.
@@ -91,6 +108,9 @@ type Stats struct {
 	PingsSent        int64
 	PingReplies      int64
 	Timeouts         int64
+	Retries          int64 // retransmissions after a query timeout
+	LateReplies      int64 // responses that arrived after their query was scored a timeout
+	Evicted          int64 // endpoints dropped from the frontier as persistently dead
 	UniqueIPs        int // unique BitTorrent IPs observed
 	UniqueNodeIDs    int // unique node_ids observed
 	NATedIPs         int // IPs confirmed NATed
@@ -135,10 +155,16 @@ type ipRecord struct {
 }
 
 type pendingQuery struct {
-	isPing bool
-	to     netsim.Endpoint
-	stop   func() bool
+	isPing   bool
+	to       netsim.Endpoint
+	stop     func() bool
+	data     []byte // marshalled query, kept for retransmission
+	attempts int    // transmissions so far
 }
+
+// lateWindowMax bounds how many timed-out transactions are remembered for
+// late-reply accounting; the oldest are forgotten first.
+const lateWindowMax = 4096
 
 // Crawler is the NAT-detection crawler.
 type Crawler struct {
@@ -157,6 +183,15 @@ type Crawler struct {
 	running bool
 	stopped bool
 	stops   []func() bool
+	// lateTx remembers transactions whose query timed out, so a reply
+	// straggling in afterwards is counted rather than silently ignored;
+	// lateOrder is its FIFO eviction order.
+	lateTx    map[string]netsim.Endpoint
+	lateOrder []string
+	// failures counts consecutive dead queries per endpoint; endpoints
+	// reaching EvictAfter enter evicted and leave the frontier.
+	failures map[netsim.Endpoint]int
+	evicted  map[netsim.Endpoint]bool
 }
 
 // New builds a crawler on the given socket.
@@ -178,6 +213,11 @@ func New(sock netsim.Socket, clock dht.Clock, cfg Config) *Crawler {
 		ips:     make(map[iputil.Addr]*ipRecord),
 		nodeIDs: make(map[krpc.NodeID]bool),
 		queued:  make(map[netsim.Endpoint]bool),
+		lateTx:  make(map[string]netsim.Endpoint),
+	}
+	if cfg.EvictAfter > 0 {
+		c.failures = make(map[netsim.Endpoint]int)
+		c.evicted = make(map[netsim.Endpoint]bool)
 	}
 	sock.SetHandler(c.handle)
 	return c
@@ -298,7 +338,7 @@ func (c *Crawler) inScope(a iputil.Addr) bool {
 }
 
 func (c *Crawler) enqueue(ep netsim.Endpoint) {
-	if c.queued[ep] {
+	if c.queued[ep] || c.evicted[ep] {
 		return
 	}
 	if !c.inScope(ep.Addr) {
@@ -470,13 +510,8 @@ func (c *Crawler) sendQuery(to netsim.Endpoint, msg *krpc.Message, isPing bool) 
 		return
 	}
 	tx := msg.TxID
-	stop := c.clock.After(c.cfg.QueryTimeout, func() {
-		if _, ok := c.pending[tx]; ok {
-			delete(c.pending, tx)
-			c.stats.Timeouts++
-		}
-	})
-	c.pending[tx] = &pendingQuery{isPing: isPing, to: to, stop: stop}
+	c.pending[tx] = &pendingQuery{isPing: isPing, to: to, data: data, attempts: 1}
+	c.pending[tx].stop = c.armTimeout(tx)
 	if isPing {
 		c.stats.PingsSent++
 		c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvPingTx, Addr: to.Addr, Port: to.Port})
@@ -485,6 +520,77 @@ func (c *Crawler) sendQuery(to netsim.Endpoint, msg *krpc.Message, isPing bool) 
 		c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvGetNodesTx, Addr: to.Addr, Port: to.Port})
 	}
 	c.sock.Send(to, data)
+}
+
+// armTimeout starts the response deadline for a pending transaction.
+func (c *Crawler) armTimeout(tx string) func() bool {
+	return c.clock.After(c.cfg.QueryTimeout, func() { c.queryTimeout(tx) })
+}
+
+// queryTimeout fires when a transaction's deadline passes unanswered: either
+// the query earns a retry (exponential backoff plus deterministic jitter) or
+// it is scored a failure — counted as a timeout, remembered for late-reply
+// accounting, and charged against the endpoint's failure score.
+func (c *Crawler) queryTimeout(tx string) {
+	p, ok := c.pending[tx]
+	if !ok {
+		return
+	}
+	if c.running && p.attempts <= c.cfg.MaxRetries {
+		c.stats.Retries++
+		backoff := c.cfg.RetryBase << (p.attempts - 1)
+		backoff += time.Duration(c.rng.Int63n(int64(backoff)/2 + 1))
+		p.stop = c.clock.After(backoff, func() { c.retransmit(tx) })
+		return
+	}
+	delete(c.pending, tx)
+	c.stats.Timeouts++
+	c.rememberLate(tx, p.to)
+	c.noteFailure(p.to)
+}
+
+func (c *Crawler) retransmit(tx string) {
+	p, ok := c.pending[tx]
+	if !ok || !c.running {
+		return
+	}
+	p.attempts++
+	p.stop = c.armTimeout(tx)
+	c.sock.Send(p.to, p.data)
+}
+
+// rememberLate records a timed-out transaction so a straggling response is
+// recognised and counted instead of silently dropped.
+func (c *Crawler) rememberLate(tx string, to netsim.Endpoint) {
+	if len(c.lateOrder) >= lateWindowMax {
+		delete(c.lateTx, c.lateOrder[0])
+		c.lateOrder = c.lateOrder[1:]
+	}
+	c.lateTx[tx] = to
+	c.lateOrder = append(c.lateOrder, tx)
+}
+
+// noteFailure charges one dead query against an endpoint; at EvictAfter
+// consecutive failures the endpoint leaves the discovery frontier.
+func (c *Crawler) noteFailure(ep netsim.Endpoint) {
+	if c.cfg.EvictAfter <= 0 {
+		return
+	}
+	c.failures[ep]++
+	if c.failures[ep] >= c.cfg.EvictAfter && !c.evicted[ep] {
+		c.evicted[ep] = true
+		c.stats.Evicted++
+	}
+}
+
+// noteSuccess clears an endpoint's failure score; a reply — even a late one
+// — proves it alive and resurrects it if evicted.
+func (c *Crawler) noteSuccess(ep netsim.Endpoint) {
+	if c.cfg.EvictAfter <= 0 {
+		return
+	}
+	delete(c.failures, ep)
+	delete(c.evicted, ep)
 }
 
 func (c *Crawler) logEvent(ev LogEvent) {
@@ -507,10 +613,20 @@ func (c *Crawler) handle(from netsim.Endpoint, payload []byte) {
 	case krpc.KindResponse:
 		p, ok := c.pending[m.TxID]
 		if !ok {
+			// A response to a query already scored a timeout: count it,
+			// log it, and clear the endpoint's failure score, but do not
+			// feed it into discovery — its round is over.
+			if to, late := c.lateTx[m.TxID]; late {
+				delete(c.lateTx, m.TxID)
+				c.stats.LateReplies++
+				c.noteSuccess(to)
+				c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvLateRx, Addr: from.Addr, Port: from.Port, NodeID: m.ID, HasID: true})
+			}
 			return
 		}
 		delete(c.pending, m.TxID)
 		p.stop()
+		c.noteSuccess(p.to)
 		// Responses can legitimately come from a different port than the
 		// one probed (NAT rewriting); record what we actually saw.
 		c.observe(from, m.ID, c.clock.Now())

@@ -21,12 +21,15 @@ type swarm struct {
 func newSwarm(t *testing.T, publicNodes int, loss float64) *swarm {
 	t.Helper()
 	clock := netsim.NewClock()
-	net := netsim.NewNetwork(clock, netsim.Config{
+	net, err := netsim.NewNetwork(clock, netsim.Config{
 		Loss:          loss,
 		LatencyBase:   10 * time.Millisecond,
 		LatencyJitter: 20 * time.Millisecond,
 		Seed:          7,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := &swarm{clock: clock, net: net}
 	for i := 0; i < publicNodes; i++ {
 		addr := iputil.AddrFrom4(10, 1, byte(i/200), byte(i%200+1))

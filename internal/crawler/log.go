@@ -30,6 +30,7 @@ const (
 	EvPingRx     EventKind = "ping-rx"     // response to a bt_ping
 	EvGetNodesRx EventKind = "getnodes-rx" // response to a get_nodes
 	EvObserve    EventKind = "observe"     // (IP, port, id) learned from a neighbour list
+	EvLateRx     EventKind = "late-rx"     // response that arrived after its query timed out
 )
 
 // LogEvent is one parsed message-log line.
@@ -127,7 +128,7 @@ func Replay(events []LogEvent, window time.Duration) []NATObservation {
 				replies[ev.Addr] = append(replies[ev.Addr], reply{ev.At, ev.Port, ev.NodeID})
 			}
 			fallthrough
-		case EvGetNodesRx, EvObserve, EvPingTx, EvGetNodesTx:
+		case EvGetNodesRx, EvObserve, EvPingTx, EvGetNodesTx, EvLateRx:
 			ps := portsSeen[ev.Addr]
 			if ps == nil {
 				ps = make(map[uint16]bool)

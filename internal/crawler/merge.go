@@ -55,6 +55,9 @@ func MergeStats(stats ...Stats) Stats {
 		out.PingsSent += s.PingsSent
 		out.PingReplies += s.PingReplies
 		out.Timeouts += s.Timeouts
+		out.Retries += s.Retries
+		out.LateReplies += s.LateReplies
+		out.Evicted += s.Evicted
 		out.ScopeSuppressed += s.ScopeSuppressed
 		out.PingRoundsRun += s.PingRoundsRun
 		out.SweepsRun += s.SweepsRun

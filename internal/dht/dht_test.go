@@ -17,10 +17,11 @@ type simWorld struct {
 func newSimWorld(t *testing.T) *simWorld {
 	t.Helper()
 	clock := netsim.NewClock()
-	return &simWorld{
-		clock: clock,
-		net:   netsim.NewNetwork(clock, netsim.Config{LatencyBase: 5 * time.Millisecond, Seed: 1}),
+	net, err := netsim.NewNetwork(clock, netsim.Config{LatencyBase: 5 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
+	return &simWorld{clock: clock, net: net}
 }
 
 func (w *simWorld) newNode(t *testing.T, addr string, port uint16, seed int64) *Node {

@@ -48,6 +48,15 @@ type Config struct {
 	// Seed drives the node's private RNG (transaction IDs, keepalive
 	// target choice).
 	Seed int64
+	// Byzantine makes the node adversarial: it answers find_node with
+	// fabricated neighbours drawn from its RNG instead of routing-table
+	// contents, poisoning crawlers' discovery frontiers with phantom
+	// endpoints. All other behaviour (pings, announces) stays honest, as a
+	// real poisoning node would keep itself reachable.
+	Byzantine bool
+	// ByzantineNodes is how many fabricated neighbours each byzantine
+	// find_node response carries; zero means BucketSize.
+	ByzantineNodes int
 }
 
 // Stats counts node activity.
@@ -312,6 +321,9 @@ func (n *Node) answer(from netsim.Endpoint, q *krpc.Message) {
 		resp = krpc.NewPingResponse(q.TxID, n.id, n.cfg.Version)
 	case krpc.MethodFindNode:
 		nodes := n.table.closest(q.Target, BucketSize)
+		if n.cfg.Byzantine {
+			nodes = n.fabricateNodes()
+		}
 		resp = krpc.NewFindNodeResponse(q.TxID, n.id, nodes, n.cfg.Version)
 	case krpc.MethodGetPeers:
 		peers := n.store.get(q.Target, n.clock.Now())
@@ -338,6 +350,27 @@ func (n *Node) answer(from netsim.Endpoint, q *krpc.Message) {
 	}
 	n.stats.ResponsesSent++
 	n.sock.Send(from, data)
+}
+
+// fabricateNodes invents neighbours for a byzantine find_node response:
+// random IDs at random addresses and ports, drawn from the node's seeded RNG
+// so a byzantine swarm remains deterministic.
+func (n *Node) fabricateNodes() []krpc.NodeInfo {
+	k := n.cfg.ByzantineNodes
+	if k <= 0 {
+		k = BucketSize
+	}
+	out := make([]krpc.NodeInfo, k)
+	for i := range out {
+		var id krpc.NodeID
+		n.rng.Read(id[:])
+		out[i] = krpc.NodeInfo{
+			ID:   id,
+			Addr: iputil.Addr(n.rng.Uint32()),
+			Port: uint16(1024 + n.rng.Intn(64000)),
+		}
+	}
+	return out
 }
 
 func (n *Node) scheduleKeepalive() {

@@ -14,6 +14,7 @@
 package icmpsurvey
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -57,6 +58,21 @@ type Config struct {
 	// availability at or below this (stable servers have A ≈ 1).
 	// Default 0.95.
 	MaxAvailability float64
+
+	// ProbeLoss is the per-transmission probability that an ECHO or its
+	// reply is lost in transit, independent of whether the address would
+	// answer. Zero (the default) keeps the survey loss-free and consumes
+	// no randomness, so existing outputs are unchanged.
+	ProbeLoss float64
+	// Retransmits is how many extra transmissions a silent address gets
+	// per round before it is scored unresponsive; a real prober retries
+	// whether the silence was loss or a genuinely dead host. Only
+	// meaningful with ProbeLoss > 0.
+	Retransmits int
+	// Seed drives probe-loss randomness. Each block derives its own
+	// stream from Seed and its base address, so the survey stays
+	// bit-for-bit identical for any worker count.
+	Seed int64
 
 	// Workers bounds how many blocks are surveyed concurrently. Blocks
 	// are independent — the Responder must answer concurrent calls, which
@@ -115,14 +131,18 @@ type Result struct {
 	DynamicBlocks *iputil.PrefixSet
 	// ProbesSent counts ECHO requests issued.
 	ProbesSent int64
+	// Retransmissions counts the extra transmissions spent on silent
+	// addresses (always zero when ProbeLoss is zero).
+	Retransmissions int64
 }
 
 // blockResult is one block's complete survey output, self-contained so
 // blocks can be surveyed concurrently and merged in block order.
 type blockResult struct {
-	summary    BlockSummary
-	perAddr    map[iputil.Addr]*Metrics
-	probesSent int64
+	summary         BlockSummary
+	perAddr         map[iputil.Addr]*Metrics
+	probesSent      int64
+	retransmissions int64
 }
 
 // Run executes the survey. Blocks are sharded across cfg.Workers; each
@@ -151,6 +171,7 @@ func Run(r Responder, cfg Config) *Result {
 			res.PerAddr[a] = m
 		}
 		res.ProbesSent += part.probesSent
+		res.Retransmissions += part.retransmissions
 	}
 	sort.Slice(res.Blocks, func(i, j int) bool {
 		return res.Blocks[i].Block.Base() < res.Blocks[j].Block.Base()
@@ -166,6 +187,12 @@ func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int) blockR
 		runs   []int
 	}
 	out := blockResult{perAddr: make(map[iputil.Addr]*Metrics)}
+	// Probe loss gets a per-block RNG stream so block results stay
+	// self-contained and identical for any worker count.
+	var rng *rand.Rand
+	if cfg.ProbeLoss > 0 {
+		rng = rand.New(rand.NewSource(cfg.Seed ^ int64(uint32(block.Base()))))
+	}
 	states := make([]state, block.Size())
 	for s := 0; s < steps; s++ {
 		at := cfg.Start.Add(time.Duration(s) * cfg.Interval)
@@ -173,6 +200,24 @@ func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int) blockR
 			addr := block.Nth(i)
 			replies := r.Responds(addr, at)
 			out.probesSent++
+			if rng != nil {
+				if replies {
+					// The first transmission may be lost; bounded
+					// retransmits recover most rounds.
+					got := rng.Float64() >= cfg.ProbeLoss
+					for k := 0; k < cfg.Retransmits && !got; k++ {
+						out.probesSent++
+						out.retransmissions++
+						got = rng.Float64() >= cfg.ProbeLoss
+					}
+					replies = got
+				} else {
+					// A silent address is retried too — the prober
+					// cannot tell loss from death.
+					out.probesSent += int64(cfg.Retransmits)
+					out.retransmissions += int64(cfg.Retransmits)
+				}
+			}
 			st := &states[i]
 			if st.m == nil {
 				st.m = &Metrics{}

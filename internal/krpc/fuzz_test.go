@@ -12,7 +12,22 @@ func FuzzUnmarshal(f *testing.F) {
 	errMsg, _ := NewError("dd", 201, "x").Marshal()
 	gp, _ := NewGetPeers("ee", id, id).Marshal()
 	ann, _ := NewAnnouncePeer("ff", id, id, 6881, "tok").Marshal()
-	for _, seed := range [][]byte{ping, fn, resp, errMsg, gp, ann, []byte("de"), []byte("i1e")} {
+	// Corruption-shaped seeds: the fault injector truncates datagrams and
+	// chops compact node lists mid-entry, so the corpus covers truncation at
+	// every interesting boundary and node strings whose length is not a
+	// multiple of CompactNodeLen.
+	corrupt := [][]byte{
+		resp[:len(resp)/2],             // truncated mid-message
+		resp[:len(resp)-1],             // missing final 'e'
+		ping[:1],                       // lone 'd'
+		fn[:len(fn)/3],                 // truncated query
+		[]byte("d1:rd2:id20:aaaaaaaaaaaaaaaaaaaa5:nodes13:aaaaaaaaaaaaae1:t2:cc1:y1:re"), // nodes len 13 (%26 != 0)
+		[]byte("d1:rd2:id20:aaaaaaaaaaaaaaaaaaaa5:nodes0:e1:t2:cc1:y1:re"),               // empty nodes
+		[]byte("d1:rd5:nodes27:aaaaaaaaaaaaaaaaaaaaaaaaaaae1:t2:cc1:y1:re"),              // 26+1 bytes
+		[]byte("d1:t999999999:xe"), // bencode length lies about the buffer
+		[]byte("d1:y1:re"),         // response with no r dict
+	}
+	for _, seed := range append([][]byte{ping, fn, resp, errMsg, gp, ann, []byte("de"), []byte("i1e")}, corrupt...) {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -43,10 +43,11 @@ type Socket interface {
 
 // Stats counts network activity.
 type Stats struct {
-	Sent      int64 // datagrams submitted
-	Delivered int64 // datagrams handed to a handler
-	Dropped   int64 // lost in transit (random loss)
-	NoRoute   int64 // destination not bound / NAT drop
+	Sent         int64 // datagrams submitted
+	Delivered    int64 // datagrams handed to a handler
+	Dropped      int64 // lost in transit (random loss)
+	NoRoute      int64 // destination not bound / NAT drop
+	FaultDropped int64 // dropped by an installed fault hook
 }
 
 // TraceKind classifies a traced datagram event.
@@ -54,10 +55,11 @@ type TraceKind byte
 
 // Trace event kinds.
 const (
-	TraceSend    TraceKind = 'S' // datagram submitted to the fabric
-	TraceDrop    TraceKind = 'D' // lost to random loss
-	TraceDeliver TraceKind = 'R' // handed to a receiver
-	TraceNoRoute TraceKind = 'X' // destination unbound or filtered
+	TraceSend      TraceKind = 'S' // datagram submitted to the fabric
+	TraceDrop      TraceKind = 'D' // lost to random loss
+	TraceDeliver   TraceKind = 'R' // handed to a receiver
+	TraceNoRoute   TraceKind = 'X' // destination unbound or filtered
+	TraceFaultDrop TraceKind = 'F' // dropped by a fault hook
 )
 
 // TraceEvent describes one fabric event for a Tracer.
@@ -73,6 +75,12 @@ type TraceEvent struct {
 // mutate the network.
 type Tracer func(TraceEvent)
 
+// FaultHook inspects one datagram and may drop or rewrite it: return nil to
+// drop, the payload unchanged to pass, or a different slice to rewrite.
+// Hooks run on the event-loop goroutine and must be deterministic (any
+// randomness must come from a seeded source consulted in event order).
+type FaultHook func(from, to Endpoint, payload []byte) []byte
+
 // Config tunes the network fabric.
 type Config struct {
 	// Loss is the independent drop probability per datagram in [0, 1).
@@ -86,6 +94,28 @@ type Config struct {
 	// Trace, when set, observes every send/drop/deliver/no-route event —
 	// the simulator's tcpdump.
 	Trace Tracer
+	// FaultSend, when set, sees every datagram as it enters the fabric
+	// (after the independent Loss roll) — the place to model link-level
+	// misbehaviour such as bursty loss or partitions.
+	FaultSend FaultHook
+	// FaultDeliver, when set, sees every datagram on the arrival side,
+	// before NAT traversal and routing — the place to model receiver-side
+	// misbehaviour such as rate limiting or reply corruption.
+	FaultDeliver FaultHook
+}
+
+// validate rejects configurations NewNetwork must not accept.
+func (cfg *Config) validate() error {
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return fmt.Errorf("netsim: loss %v out of range [0, 1)", cfg.Loss)
+	}
+	if cfg.LatencyBase < 0 {
+		return fmt.Errorf("netsim: negative latency base %v", cfg.LatencyBase)
+	}
+	if cfg.LatencyJitter < 0 {
+		return fmt.Errorf("netsim: negative latency jitter %v", cfg.LatencyJitter)
+	}
+	return nil
 }
 
 // Network simulates the public IPv4 fabric: bindings, loss, latency, NATs.
@@ -107,10 +137,12 @@ type binding struct {
 	closed  bool
 }
 
-// NewNetwork builds an empty network on the given clock.
-func NewNetwork(clock *Clock, cfg Config) *Network {
-	if cfg.Loss < 0 || cfg.Loss >= 1 {
-		panic("netsim: loss must be in [0, 1)")
+// NewNetwork builds an empty network on the given clock. It returns an
+// error — not a panic — for out-of-range configuration, so user-supplied
+// flag values surface as config errors.
+func NewNetwork(clock *Clock, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return &Network{
 		clock:    clock,
@@ -118,7 +150,7 @@ func NewNetwork(clock *Clock, cfg Config) *Network {
 		cfg:      cfg,
 		bindings: make(map[Endpoint]*binding),
 		nats:     make(map[iputil.Addr]*NAT),
-	}
+	}, nil
 }
 
 // Clock returns the network's clock.
@@ -176,7 +208,8 @@ func (n *Network) trace(kind TraceKind, from, to Endpoint, size int) {
 	}
 }
 
-// transmit moves a datagram across the fabric: apply loss, delay, then route.
+// transmit moves a datagram across the fabric: apply loss and send-side
+// faults, delay, then route.
 func (n *Network) transmit(from, to Endpoint, payload []byte) {
 	n.stats.Sent++
 	n.trace(TraceSend, from, to, len(payload))
@@ -184,6 +217,14 @@ func (n *Network) transmit(from, to Endpoint, payload []byte) {
 		n.stats.Dropped++
 		n.trace(TraceDrop, from, to, len(payload))
 		return
+	}
+	if n.cfg.FaultSend != nil {
+		payload = n.cfg.FaultSend(from, to, payload)
+		if payload == nil {
+			n.stats.FaultDropped++
+			n.trace(TraceFaultDrop, from, to, 0)
+			return
+		}
 	}
 	delay := n.cfg.LatencyBase
 	if n.cfg.LatencyJitter > 0 {
@@ -199,6 +240,14 @@ func (n *Network) transmit(from, to Endpoint, payload []byte) {
 }
 
 func (n *Network) deliver(from, to Endpoint, payload []byte) {
+	if n.cfg.FaultDeliver != nil {
+		payload = n.cfg.FaultDeliver(from, to, payload)
+		if payload == nil {
+			n.stats.FaultDropped++
+			n.trace(TraceFaultDrop, from, to, 0)
+			return
+		}
+	}
 	if nat, ok := n.nats[to.Addr]; ok {
 		nat.inbound(from, to, payload)
 		return

@@ -10,7 +10,11 @@ import (
 
 func newTestNet(t *testing.T, cfg Config) *Network {
 	t.Helper()
-	return NewNetwork(NewClock(), cfg)
+	n, err := NewNetwork(NewClock(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func ep(addr string, port uint16) Endpoint {
@@ -132,7 +136,10 @@ func TestPayloadIsolation(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() Stats {
-		n := NewNetwork(NewClock(), Config{Loss: 0.3, LatencyBase: time.Millisecond, LatencyJitter: 5 * time.Millisecond, Seed: 99})
+		n, err := NewNetwork(NewClock(), Config{Loss: 0.3, LatencyBase: time.Millisecond, LatencyJitter: 5 * time.Millisecond, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
 		a, _ := n.Listen(ep("10.0.0.1", 1))
 		b, _ := n.Listen(ep("10.0.0.2", 2))
 		b.SetHandler(func(f Endpoint, p []byte) {
@@ -157,21 +164,32 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func TestInvalidLossPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic for loss >= 1")
+func TestInvalidConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Loss: 1},
+		{Loss: -0.1},
+		{LatencyBase: -time.Second},
+		{LatencyJitter: -time.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := NewNetwork(NewClock(), cfg); err == nil {
+			t.Errorf("NewNetwork(%+v) accepted an invalid config", cfg)
 		}
-	}()
-	NewNetwork(NewClock(), Config{Loss: 1})
+	}
+	if _, err := NewNetwork(NewClock(), Config{Loss: 0.99}); err != nil {
+		t.Errorf("NewNetwork rejected a valid config: %v", err)
+	}
 }
 
 func TestTracer(t *testing.T) {
 	var events []TraceEvent
 	clock := NewClock()
-	n := NewNetwork(clock, Config{
+	n, err := NewNetwork(clock, Config{
 		Trace: func(ev TraceEvent) { events = append(events, ev) },
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, _ := n.Listen(ep("10.0.0.1", 1))
 	b, _ := n.Listen(ep("10.0.0.2", 2))
 	b.SetHandler(func(Endpoint, []byte) {})
@@ -199,7 +217,7 @@ func TestTracer(t *testing.T) {
 func TestTracerSeesDrops(t *testing.T) {
 	drops, sends := 0, 0
 	clock := NewClock()
-	n := NewNetwork(clock, Config{
+	n, err := NewNetwork(clock, Config{
 		Loss: 0.5, Seed: 3,
 		Trace: func(ev TraceEvent) {
 			switch ev.Kind {
@@ -210,6 +228,9 @@ func TestTracerSeesDrops(t *testing.T) {
 			}
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, _ := n.Listen(ep("10.0.0.1", 1))
 	b, _ := n.Listen(ep("10.0.0.2", 2))
 	b.SetHandler(func(Endpoint, []byte) {})
@@ -228,13 +249,69 @@ func TestTracerSeesDrops(t *testing.T) {
 	}
 }
 
+// TestFaultHooks: FaultSend and FaultDeliver can drop and rewrite datagrams,
+// drops are counted in FaultDropped and traced as TraceFaultDrop, and the
+// conservation invariant extends to fault drops.
+func TestFaultHooks(t *testing.T) {
+	var kinds []TraceKind
+	cfg := Config{
+		Trace: func(ev TraceEvent) { kinds = append(kinds, ev.Kind) },
+		FaultSend: func(from, to Endpoint, p []byte) []byte {
+			if len(p) > 0 && p[0] == 'D' {
+				return nil // drop send-side
+			}
+			return p
+		},
+		FaultDeliver: func(from, to Endpoint, p []byte) []byte {
+			if len(p) > 0 && p[0] == 'X' {
+				return nil // drop deliver-side
+			}
+			if len(p) > 0 && p[0] == 'R' {
+				return []byte("rewritten")
+			}
+			return p
+		},
+	}
+	n := newTestNet(t, cfg)
+	a, _ := n.Listen(ep("10.0.0.1", 1))
+	b, _ := n.Listen(ep("10.0.0.2", 2))
+	var got []string
+	b.SetHandler(func(_ Endpoint, p []byte) { got = append(got, string(p)) })
+	for _, payload := range []string{"Drop-me", "X-drop-me", "Rewrite", "pass"} {
+		a.Send(ep("10.0.0.2", 2), []byte(payload))
+	}
+	n.Clock().Drain(0)
+	if len(got) != 2 || got[0] != "rewritten" || got[1] != "pass" {
+		t.Errorf("delivered = %q", got)
+	}
+	st := n.Stats()
+	if st.FaultDropped != 2 {
+		t.Errorf("FaultDropped = %d, want 2", st.FaultDropped)
+	}
+	if st.Sent != st.Delivered+st.Dropped+st.NoRoute+st.FaultDropped {
+		t.Errorf("conservation violated with fault hooks: %+v", st)
+	}
+	faultDrops := 0
+	for _, k := range kinds {
+		if k == TraceFaultDrop {
+			faultDrops++
+		}
+	}
+	if faultDrops != 2 {
+		t.Errorf("TraceFaultDrop events = %d, want 2", faultDrops)
+	}
+}
+
 // TestConservationProperty: every sent datagram is eventually dropped,
 // delivered, or unroutable — nothing is duplicated or lost in accounting.
 func TestConservationProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 20; trial++ {
 		clock := NewClock()
-		n := NewNetwork(clock, Config{Loss: rng.Float64() * 0.9, Seed: rng.Int63()})
+		n, err := NewNetwork(clock, Config{Loss: rng.Float64() * 0.9, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var socks []Socket
 		for i := 0; i < 5; i++ {
 			s, err := n.Listen(ep("10.0.0."+string(rune('1'+i)), uint16(i+1)))
