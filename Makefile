@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test ci bench report fuzz clean
+.PHONY: all build vet test ci bench bench-obs report fuzz clean
 
 all: build vet test
 
@@ -19,10 +19,17 @@ test:
 ci: build vet
 	$(GO) test -race -short ./...
 
-# Regenerates every paper table/figure into bench_artifacts/ plus the
-# worker-scaling curve in BENCH_parallel.json.
+# Regenerates every paper table/figure into bench_artifacts/ (including the
+# deterministic metric snapshot metrics.txt), the worker-scaling curve in
+# BENCH_parallel.json, and the instrumentation-overhead curve in
+# BENCH_obs.json.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Just the observability overhead: the BenchmarkStudyParallel-shaped study
+# with instrumentation off vs on, recorded to BENCH_obs.json.
+bench-obs:
+	$(GO) test -bench=BenchmarkStudyObs -benchmem -run='^$$' .
 
 # Full default-scale study: every table and figure on stdout.
 report:

@@ -20,6 +20,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/blgen"
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/ripeatlas"
 	"github.com/reuseblock/reuseblock/internal/stats"
 	"github.com/reuseblock/reuseblock/internal/survey"
@@ -37,7 +38,10 @@ var (
 func study(tb testing.TB) (*core.Study, *core.Report) {
 	tb.Helper()
 	benchOnce.Do(func() {
-		s := core.NewStudy(core.Config{Seed: 1})
+		// Instrumentation is on for the shared study: the golden tests both
+		// diff its deterministic metric snapshot (metrics.txt) and prove the
+		// report artifacts still match the pre-obs goldens byte for byte.
+		s := core.NewStudy(core.Config{Seed: 1, Obs: obs.NewRegistry(), Trace: obs.NewTracer()})
 		rep, err := s.Run()
 		if err != nil {
 			panic(err)
@@ -218,6 +222,21 @@ func BenchmarkSection4CrawlStats(b *testing.B) {
 		}
 	}
 	writeArtifact(b, "section4.txt", rep.CrawlStatsTable().Render())
+}
+
+// BenchmarkStudyMetricsSnapshot measures rendering the deterministic metric
+// snapshot of the shared default study and writes it as a golden artifact:
+// every count the instrumented pipeline records, byte-stable across runs and
+// worker settings.
+func BenchmarkStudyMetricsSnapshot(b *testing.B) {
+	s, _ := study(b)
+	b.ResetTimer()
+	var text string
+	for i := 0; i < b.N; i++ {
+		text = s.Config.Obs.RenderText(false)
+	}
+	b.ReportMetric(float64(len(text)), "snapshot-bytes")
+	writeArtifact(b, "metrics.txt", text)
 }
 
 // BenchmarkSection5TopListConcentration regenerates the §5 top-10

@@ -7,6 +7,13 @@
 //
 //	blreport [-seed N] [-scale F] [-crawl DUR] [-workers N] [-skip-crawl]
 //	         [-skip-icmp] [-faults SCENARIO] [-reused-out FILE]
+//	         [-trace-out FILE] [-metrics-out FILE] [-manifest-out FILE]
+//
+// The three -*-out observability flags instrument the run: -trace-out writes
+// the span tree as JSONL, -metrics-out writes the deterministic metric
+// snapshot (byte-identical for any -workers value), and -manifest-out writes
+// the run manifest JSON. The report on stdout is byte-identical whether or
+// not instrumentation is enabled.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/blgen"
 	"github.com/reuseblock/reuseblock/internal/core"
 	"github.com/reuseblock/reuseblock/internal/faults"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/stats"
 	"github.com/reuseblock/reuseblock/internal/svgplot"
 )
@@ -38,6 +46,10 @@ func main() {
 		svgDir    = flag.String("svg", "", "also render every figure as SVG into this directory")
 		workers   = flag.Int("workers", 0, "worker goroutines for the deterministic fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 		faultScn  = flag.String("faults", "", "fault scenario to inject (one of: "+strings.Join(faults.Names(), ", ")+")")
+
+		traceOut    = flag.String("trace-out", "", "write the run's trace spans (JSONL) to this file")
+		metricsOut  = flag.String("metrics-out", "", "write the deterministic metric snapshot to this file")
+		manifestOut = flag.String("manifest-out", "", "write the run manifest (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +68,12 @@ func main() {
 		SkipICMP:      *skipICMP,
 		Workers:       *workers,
 		Faults:        scenario,
+	}
+	if *metricsOut != "" || *manifestOut != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTracer()
 	}
 
 	start := time.Now()
@@ -111,5 +129,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d reused addresses to %s\n", report.ReusedAddrs.Len(), *reusedOut)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", len(cfg.Trace.Records()), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(cfg.Obs.RenderText(false)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metric snapshot to %s\n", *metricsOut)
+	}
+	if *manifestOut != "" {
+		data, err := study.Manifest().JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*manifestOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run manifest to %s\n", *manifestOut)
 	}
 }

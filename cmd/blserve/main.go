@@ -6,9 +6,13 @@
 // Usage:
 //
 //	blserve -nated FILE -dynamic FILE [-addr :8080]
-//	blserve -generate [-seed N] [-scale F] [-addr :8080]
+//	blserve -generate [-seed N] [-scale F] [-addr :8080] [-pprof]
 //
-// Endpoints: /v1/check?ip=A.B.C.D, /v1/list, /v1/prefixes, /v1/stats.
+// Endpoints: /v1/check?ip=A.B.C.D, /v1/list, /v1/prefixes, /v1/stats, plus
+// observability: /metrics (Prometheus text; with -generate it carries the
+// study's deterministic counters alongside live request counts),
+// /debug/manifest (the run manifest JSON), and — behind -pprof —
+// /debug/pprof/.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/core"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/reuseapi"
 )
 
@@ -36,9 +41,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for -generate")
 		scale    = flag.Float64("scale", 0.25, "world scale for -generate")
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	manifest := obs.NewManifest()
 	data := &reuseapi.Dataset{
 		NATUsers:        map[iputil.Addr]int{},
 		DynamicPrefixes: iputil.NewPrefixSet(),
@@ -48,7 +56,7 @@ func main() {
 	case *generate:
 		wp := blgen.DefaultParams(*seed)
 		wp.Scale = *scale
-		study := core.NewStudy(core.Config{Seed: *seed, World: &wp, SkipICMP: true})
+		study := core.NewStudy(core.Config{Seed: *seed, World: &wp, SkipICMP: true, Obs: reg})
 		if _, err := study.Run(); err != nil {
 			log.Fatal(err)
 		}
@@ -56,6 +64,7 @@ func main() {
 			data.NATUsers[o.Addr] = o.Users
 		}
 		data.DynamicPrefixes = study.RIPE.DynamicPrefixes
+		manifest = study.Manifest()
 	case *natedF != "" || *dynF != "":
 		if *natedF != "" {
 			f, err := os.Open(*natedF)
@@ -84,8 +93,17 @@ func main() {
 	}
 
 	srv := reuseapi.NewServer(data)
+	srv.Obs = reg
+	srv.EnablePprof = *pprofOn
+	// Serve the manifest with a live metric snapshot so request counters
+	// accumulated since startup are visible too.
+	srv.Manifest = func() *obs.Manifest {
+		m := *manifest
+		m.Metrics = reg.Snapshot(true)
+		return &m
+	}
 	fmt.Printf("serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
 		len(data.NATUsers), data.DynamicPrefixes.Len(), *addr)
-	fmt.Printf("try: curl 'http://%s/v1/stats'\n", *addr)
+	fmt.Printf("try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", *addr, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -18,7 +18,7 @@ func TestGoldenArtifacts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full default-scale study; skipped in -short mode")
 	}
-	_, rep := study(t)
+	s, rep := study(t)
 	perList := rep.PerList
 	artifacts := map[string]string{
 		"figure2.txt":  rep.Figure2().Render(),
@@ -33,6 +33,7 @@ func TestGoldenArtifacts(t *testing.T) {
 		"table2.txt":   rep.Table2().Render(),
 		"section4.txt": rep.CrawlStatsTable().Render(),
 		"section5.txt": fmt.Sprintf("top NATed feeds: %v\ntop dynamic feeds: %v\n", perList.TopNATedFeeds, perList.TopDynamicFeeds),
+		"metrics.txt":  s.Config.Obs.RenderText(false),
 	}
 	for name, got := range artifacts {
 		t.Run(name, func(t *testing.T) {

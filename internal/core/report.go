@@ -8,6 +8,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/analysis"
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/stats"
 )
@@ -102,6 +103,11 @@ func prefixesOf(addrs *iputil.Set) *iputil.PrefixSet {
 	return addrs.Slash24s()
 }
 
+// Manifest returns the run manifest of the study that produced this report
+// (see Study.Manifest). It is not part of Render — the manifest carries
+// wall-clock metrics and build stamps, while Render stays golden-stable.
+func (r *Report) Manifest() *obs.Manifest { return r.study.Manifest() }
+
 // CrawlStatsTable renders the §4 crawl statistics.
 func (r *Report) CrawlStatsTable() *stats.Table {
 	st := r.study.CrawlStats
@@ -115,6 +121,9 @@ func (r *Report) CrawlStatsTable() *stats.Table {
 	t.AddRow("unique node IDs", fmt.Sprint(st.UniqueNodeIDs))
 	t.AddRow("NATed IPs", fmt.Sprint(st.NATedIPs))
 	t.AddRow("ping rounds", fmt.Sprint(st.PingRoundsRun))
+	t.AddRow("late replies", fmt.Sprint(st.LateReplies))
+	t.AddRow("retries", fmt.Sprint(st.Retries))
+	t.AddRow("endpoints evicted", fmt.Sprint(st.Evicted))
 	return t
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/icmpsurvey"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/netsim"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/parallel"
 	"github.com/reuseblock/reuseblock/internal/ripeatlas"
 	"github.com/reuseblock/reuseblock/internal/survey"
@@ -73,6 +74,17 @@ type Config struct {
 	// any value. Default (<= 0) is GOMAXPROCS; 1 forces the legacy
 	// sequential path with no goroutines.
 	Workers int
+
+	// Obs, when non-nil, collects the run's metrics: deterministic counts
+	// (queries, probes, fault drops, detections) whose snapshots are
+	// byte-identical for any Workers value, plus wall-clock values under
+	// the obs.WallPrefix namespace. Nil (the default) records nothing and
+	// leaves all output byte-identical to an uninstrumented run.
+	Obs *obs.Registry
+	// Trace, when non-nil, collects hierarchical spans (study → stage →
+	// vantage → ping round / sweep). Span structure and attributes are
+	// deterministic; only wall timestamps vary between runs.
+	Trace *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -127,6 +139,11 @@ type Study struct {
 
 	// crawlStages records per-vantage outcomes for the degradation report.
 	crawlStages []StageReport
+	// stageStatuses records per-stage outcomes for the run manifest.
+	stageStatuses []obs.StageStatus
+	// parallelBase snapshots the process-global pool counters at study
+	// creation so finishObs can report per-run diffs.
+	parallelBase parallel.Counters
 }
 
 // NewStudy generates the world for a study.
@@ -141,14 +158,15 @@ func NewStudy(cfg Config) *Study {
 	if wp.Workers == 0 {
 		wp.Workers = cfg.Workers
 	}
-	return &Study{Config: cfg, World: blgen.Generate(wp)}
+	base := parallel.Snapshot()
+	return &Study{Config: cfg, World: blgen.Generate(wp), parallelBase: base}
 }
 
 // NewStudyFromWorld wraps an already-generated world; useful when several
 // studies (different crawl settings, ablations) share one world.
 func NewStudyFromWorld(w *blgen.World, cfg Config) *Study {
 	cfg.applyDefaults()
-	return &Study{Config: cfg, World: w}
+	return &Study{Config: cfg, World: w, parallelBase: parallel.Snapshot()}
 }
 
 // Run executes every stage and returns the full report.
@@ -162,17 +180,24 @@ func (s *Study) Run() (*Report, error) {
 	if err := s.Config.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	root := s.Config.Trace.Root("study",
+		obs.Int("seed", s.Config.Seed),
+		obs.Int("vantages", int64(s.Config.Vantages)),
+		obs.String("faults", s.faultName()),
+	)
 
 	natUsers := make(map[iputil.Addr]int)
 	s.BTObserved = iputil.NewSet()
 	var crawlErr error
 	parallel.Do(s.Config.Workers,
 		// Stage 1: the BitTorrent crawl over the simulated network.
-		func() { crawlErr = s.runCrawl(natUsers) },
+		s.stage(root, "crawl", func(sp *obs.Span) { crawlErr = s.runCrawl(natUsers, sp) }),
 		// Stage 2: the RIPE dynamic-address pipeline over the fleet logs.
-		func() { s.RIPE = ripeatlas.Detect(w.RIPELogs, ripeatlas.DetectOptions{}) },
+		s.stage(root, "ripe", func(*obs.Span) {
+			s.RIPE = ripeatlas.Detect(w.RIPELogs, ripeatlas.DetectOptions{})
+		}),
 		// Stage 3: the Cai et al. ICMP baseline over sampled blocks.
-		func() {
+		s.stage(root, "icmp", func(*obs.Span) {
 			if s.Config.SkipICMP {
 				return
 			}
@@ -182,6 +207,7 @@ func (s *Study) Run() (*Report, error) {
 				Duration: s.Config.SurveyDuration,
 				Interval: s.Config.SurveyInterval,
 				Workers:  s.Config.Workers,
+				Obs:      s.Config.Obs,
 			}
 			if f := s.Config.Faults; f != nil && f.ICMP != nil {
 				icmpCfg.ProbeLoss = f.ICMP.ProbeLoss
@@ -189,15 +215,16 @@ func (s *Study) Run() (*Report, error) {
 				icmpCfg.Seed = s.Config.Seed ^ 0x49434d50 // "ICMP"
 			}
 			s.Cai = icmpsurvey.Run(w, icmpCfg)
-		},
+		}),
 		// Stage 4: the operator survey tabulations.
-		func() {
+		s.stage(root, "survey", func(*obs.Span) {
 			responses := survey.StandardResponses(s.Config.Seed)
 			s.Survey = survey.Summarize(responses)
 			s.TypeUsage = survey.TypesAmongAffected(responses)
-		},
+		}),
 	)
 	if crawlErr != nil {
+		root.End()
 		return nil, crawlErr
 	}
 
@@ -221,15 +248,22 @@ func (s *Study) Run() (*Report, error) {
 		s.Inputs.CaiBlocks = s.Cai.DynamicBlocks
 	}
 	s.Degradation = s.buildDegradation()
-	return s.buildReport(), nil
+	s.noteStages(crawlErr)
+	join := root.Child("join")
+	rep := s.buildReport()
+	join.End()
+	s.finishObs(rep)
+	root.End()
+	return rep, nil
 }
 
 // vantageRun is one crawler vantage point's complete output.
 type vantageRun struct {
 	stats  crawler.Stats
-	obs    []crawler.NATObservation
+	nated  []crawler.NATObservation
 	ips    *iputil.Set
 	faults faults.Stats
+	net    netsim.Stats
 	err    error
 }
 
@@ -239,7 +273,7 @@ type vantageRun struct {
 // single-threaded, so one goroutine per instance is the only safe shape —
 // seeded only by (Config.Seed, vantage index), and the per-vantage results
 // merge in vantage order, so the outcome is independent of scheduling.
-func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
+func (s *Study) runCrawl(natUsers map[iputil.Addr]int, crawlSpan *obs.Span) error {
 	if s.Config.SkipCrawl {
 		return nil
 	}
@@ -250,6 +284,8 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 		scope = scopeSet.Covers
 	}
 	runs := parallel.Map(s.Config.Workers, s.Config.Vantages, func(v int) vantageRun {
+		vsp := crawlSpan.Child(fmt.Sprintf("vantage %d", v))
+		defer vsp.End()
 		// Vantage 0 reuses the plain study seed so a single-vantage run
 		// reproduces the original single-swarm results exactly.
 		swarm, err := BuildSwarm(w, SwarmConfig{
@@ -260,18 +296,22 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 			Faults:         s.Config.Faults,
 		}, scopeSet.Covers)
 		if err != nil {
+			vsp.SetAttr(obs.String("error", err.Error()))
 			return vantageRun{err: err}
 		}
 		sock, err := swarm.Net.Listen(netsim.Endpoint{
 			Addr: iputil.AddrFrom4(198, 18, byte(v), 1), Port: 9999,
 		})
 		if err != nil {
+			vsp.SetAttr(obs.String("error", err.Error()))
 			return vantageRun{err: err}
 		}
 		crawlCfg := crawler.Config{
 			Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
 			Scope:     scope,
 			Seed:      s.Config.Seed ^ 0x4352574c ^ int64(v)<<32, // "CRWL"
+			Obs:       s.Config.Obs,
+			Trace:     vsp,
 		}
 		if s.Config.Faults != nil {
 			// Resilience policy under faults: bounded retries with backoff
@@ -287,8 +327,12 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 		c.Start()
 		swarm.Clock.RunFor(s.Config.CrawlDuration)
 		c.Stop()
-		return vantageRun{stats: c.Stats(), obs: c.NATed(), ips: c.ObservedIPs(),
-			faults: swarm.Injector.Stats()}
+		st := c.Stats()
+		vsp.SetAttr(obs.Int("queries", st.MessagesSent))
+		vsp.SetAttr(obs.Int("replies", st.MessagesReceived))
+		vsp.SetAttr(obs.Int("unique_ips", int64(st.UniqueIPs)))
+		return vantageRun{stats: st, nated: c.NATed(), ips: c.ObservedIPs(),
+			faults: swarm.Injector.Stats(), net: swarm.Net.Stats()}
 	})
 	var statParts []crawler.Stats
 	var obsParts [][]crawler.NATObservation
@@ -323,8 +367,16 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int) error {
 			})
 		}
 		statParts = append(statParts, r.stats)
-		obsParts = append(obsParts, r.obs)
+		obsParts = append(obsParts, r.nated)
 		faultParts = append(faultParts, r.faults)
+		// Fabric and injector counters merge here, after the fan-out, in
+		// vantage order: each vantage's counts come from its own
+		// single-threaded simulator, so the sums are worker-invariant. The
+		// injector series only exist when a scenario is active.
+		r.net.Record(s.Config.Obs)
+		if s.Config.Faults != nil {
+			r.faults.Record(s.Config.Obs, s.faultName())
+		}
 		s.BTObserved.AddSet(r.ips)
 	}
 	if survivors == 0 {

@@ -16,6 +16,7 @@ package crawler
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math/rand"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/krpc"
 	"github.com/reuseblock/reuseblock/internal/netsim"
+	"github.com/reuseblock/reuseblock/internal/obs"
 )
 
 // Config tunes the crawler.
@@ -72,6 +74,15 @@ type Config struct {
 	// received (the paper's message log); Replay reprocesses such logs
 	// into NAT determinations offline.
 	EventLog io.Writer
+	// Obs, when non-nil, receives the crawl's final counters (queries
+	// sent, retries, late replies, evictions, …) when Stop runs. Counts
+	// are taken from the per-crawler Stats — deterministic per seed — and
+	// added atomically, so multi-vantage sums are worker-invariant.
+	Obs *obs.Registry
+	// Trace, when non-nil, is the parent span (typically the vantage span)
+	// under which the crawler opens one child span per query batch: each
+	// ping round and each discovery sweep.
+	Trace *obs.Span
 }
 
 func (c *Config) applyDefaults() {
@@ -111,10 +122,10 @@ type Stats struct {
 	Retries          int64 // retransmissions after a query timeout
 	LateReplies      int64 // responses that arrived after their query was scored a timeout
 	Evicted          int64 // endpoints dropped from the frontier as persistently dead
-	UniqueIPs        int // unique BitTorrent IPs observed
-	UniqueNodeIDs    int // unique node_ids observed
-	NATedIPs         int // IPs confirmed NATed
-	MultiPortIPs     int // IPs that ever showed >1 port
+	UniqueIPs        int   // unique BitTorrent IPs observed
+	UniqueNodeIDs    int   // unique node_ids observed
+	NATedIPs         int   // IPs confirmed NATed
+	MultiPortIPs     int   // IPs that ever showed >1 port
 	ScopeSuppressed  int64
 	ResponseRate     float64 // replies / (pings + get_nodes)
 	SimultaneousMax  int     // largest simultaneous-user lower bound
@@ -265,6 +276,36 @@ func (c *Crawler) Stop() {
 		p.stop()
 	}
 	c.pending = make(map[string]*pendingQuery)
+	c.recordObs()
+}
+
+// recordObs pushes the crawl's final statistics into the configured
+// registry — once, when the crawl stops. The counts come from the crawler's
+// own Stats (a deterministic function of the seed), and counter adds are
+// atomic sums, so per-vantage crawlers running on any worker schedule
+// produce identical registry totals.
+func (c *Crawler) recordObs() {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	st := c.Stats()
+	reg.Counter("crawler_get_nodes_sent_total").Add(st.GetNodesSent)
+	reg.Counter("crawler_pings_sent_total").Add(st.PingsSent)
+	reg.Counter("crawler_replies_total").Add(st.MessagesReceived)
+	reg.Counter("crawler_timeouts_total").Add(st.Timeouts)
+	reg.Counter("crawler_retries_total").Add(st.Retries)
+	reg.Counter("crawler_late_replies_total").Add(st.LateReplies)
+	reg.Counter("crawler_evicted_total").Add(st.Evicted)
+	reg.Counter("crawler_scope_suppressed_total").Add(st.ScopeSuppressed)
+	reg.Counter("crawler_ping_rounds_total").Add(int64(st.PingRoundsRun))
+	reg.Counter("crawler_sweeps_total").Add(int64(st.SweepsRun))
+	reg.Counter("crawler_unique_ips_total").Add(int64(st.UniqueIPs))
+	reg.Counter("crawler_nated_ips_total").Add(int64(st.NATedIPs))
+	h := reg.Histogram("crawler_nat_users", []float64{2, 3, 4, 8, 16, 32, 64})
+	for _, o := range c.NATed() {
+		h.Observe(float64(o.Users))
+	}
 }
 
 // Stats returns a snapshot of crawl statistics.
@@ -411,6 +452,13 @@ func (c *Crawler) pump() {
 // ports and users.
 func (c *Crawler) sweep() {
 	c.stats.SweepsRun++
+	// Query-batch span: the sweep's frontier size is simulation state, so
+	// the attribute is deterministic; only the wall fields vary.
+	sp := c.cfg.Trace.Child(fmt.Sprintf("sweep %04d", c.stats.SweepsRun))
+	defer func() {
+		sp.SetAttr(obs.Int("known_ips", int64(len(c.ips))))
+		sp.End()
+	}()
 	for _, ep := range c.cfg.Bootstrap {
 		c.enqueue(ep)
 	}
@@ -439,6 +487,7 @@ func (c *Crawler) sweep() {
 // and scores replies after PingWindow.
 func (c *Crawler) pingRound() {
 	c.stats.PingRoundsRun++
+	sp := c.cfg.Trace.Child(fmt.Sprintf("ping round %04d", c.stats.PingRoundsRun))
 	now := c.clock.Now()
 	var candidates []*ipRecord
 	for _, rec := range c.ips {
@@ -461,6 +510,8 @@ func (c *Crawler) pingRound() {
 			c.sendQuery(netsim.Endpoint{Addr: rec.addr, Port: uint16(p)}, krpc.NewPing(c.newTx(), c.id), true)
 		}
 	}
+	sp.SetAttr(obs.Int("candidates", int64(len(candidates))))
+	sp.End()
 	if len(candidates) == 0 {
 		return
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/parallel"
 )
 
@@ -80,6 +81,13 @@ type Config struct {
 	// block order, so the output is identical for any value. <= 0 means
 	// GOMAXPROCS; 1 surveys sequentially.
 	Workers int
+
+	// Obs, when non-nil, receives the survey's counters (probes,
+	// retransmissions, blocks surveyed/dynamic) and the per-block
+	// responsive-address histogram after the merge. Everything recorded is
+	// a deterministic function of the config, so snapshots are
+	// worker-invariant.
+	Obs *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -176,7 +184,25 @@ func Run(r Responder, cfg Config) *Result {
 	sort.Slice(res.Blocks, func(i, j int) bool {
 		return res.Blocks[i].Block.Base() < res.Blocks[j].Block.Base()
 	})
+	recordObs(cfg.Obs, res)
 	return res
+}
+
+// recordObs pushes the merged survey outcome into the registry. Recording
+// happens after the block merge — never inside the parallel fan-out — so the
+// values are the same deterministic totals the Result itself carries.
+func recordObs(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("icmp_probes_sent_total").Add(res.ProbesSent)
+	reg.Counter("icmp_retransmissions_total").Add(res.Retransmissions)
+	reg.Counter("icmp_blocks_surveyed_total").Add(int64(len(res.Blocks)))
+	reg.Counter("icmp_blocks_dynamic_total").Add(int64(res.DynamicBlocks.Len()))
+	h := reg.Histogram("icmp_block_responsive_addrs", []float64{0, 8, 16, 32, 64, 128})
+	for _, b := range res.Blocks {
+		h.Observe(float64(b.Responsive))
+	}
 }
 
 func surveyBlock(r Responder, block iputil.Prefix, cfg Config, steps int) blockResult {

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format (wall namespace included) — mount at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ManifestSource yields the manifest to serve; it is re-invoked per request
+// so servers can refresh metrics snapshots without re-registering.
+type ManifestSource func() *Manifest
+
+// ManifestHandler serves the manifest as JSON — mount at /debug/manifest.
+// A nil source (or a source returning nil) answers 404.
+func ManifestHandler(src ManifestSource) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var m *Manifest
+		if src != nil {
+			mu.Lock()
+			m = src()
+			mu.Unlock()
+		}
+		if m == nil {
+			http.Error(w, "no manifest", http.StatusNotFound)
+			return
+		}
+		data, err := m.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under /debug/pprof/
+// — the standard profiling surface, opt-in behind a flag in the servers.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

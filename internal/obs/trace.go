@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects hierarchical spans over the study DAG
+// (study → stage → vantage → query batch). A nil tracer is a zero-cost off
+// switch: Root on nil returns a nil span, and every span method on nil is a
+// no-op, so instrumented code never guards.
+//
+// Span *structure* — paths, names, depths, attributes — is deterministic:
+// it derives only from the seeded pipeline, and the export is sorted by
+// path. Wall-clock start/duration fields are recorded for profiling but are
+// explicitly non-deterministic; consumers comparing traces across runs or
+// worker counts must ignore them (see Structural).
+type Tracer struct {
+	mu      sync.Mutex
+	records []SpanRecord
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Attr is one structured span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Span is one in-flight node of the trace tree. Create children with Child;
+// finish with End. Safe for use from the single goroutine that owns it —
+// the pipeline's ownership structure (one goroutine per vantage, one span
+// per stage task) is what keeps attribute updates race-free.
+type Span struct {
+	t         *Tracer
+	path      string
+	name      string
+	depth     int
+	attrs     []Attr
+	wallStart time.Time
+	ended     atomic.Bool
+}
+
+// Root starts a top-level span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, path: name, name: name, depth: 0,
+		attrs: append([]Attr(nil), attrs...), wallStart: time.Now()}
+}
+
+// Child starts a sub-span. The child's path is parent.path + "/" + name;
+// callers give siblings distinct names (e.g. "vantage 0", "round 0007") so
+// paths stay unique and sort deterministically. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, path: s.path + "/" + name, name: name, depth: s.depth + 1,
+		attrs: append([]Attr(nil), attrs...), wallStart: time.Now()}
+}
+
+// SetAttr attaches or overwrites an attribute. Nil-safe.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i].Value = a.Value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// End finishes the span and hands its record to the tracer. Ending twice
+// records once. Nil-safe.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	rec := SpanRecord{
+		Path:        s.path,
+		Name:        s.name,
+		Depth:       s.depth,
+		WallStartNS: s.wallStart.UnixNano(),
+		WallDurNS:   time.Since(s.wallStart).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	s.t.mu.Lock()
+	s.t.records = append(s.t.records, rec)
+	s.t.mu.Unlock()
+}
+
+// SpanRecord is one finished span. WallStartNS and WallDurNS are the only
+// non-deterministic fields (see Tracer).
+type SpanRecord struct {
+	Path        string            `json:"path"`
+	Name        string            `json:"name"`
+	Depth       int               `json:"depth"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	WallStartNS int64             `json:"wall_start_ns"`
+	WallDurNS   int64             `json:"wall_dur_ns"`
+}
+
+// Structural returns a copy of the record with the wall-clock fields
+// zeroed — the deterministic projection used by equivalence tests.
+func (r SpanRecord) Structural() SpanRecord {
+	r.WallStartNS, r.WallDurNS = 0, 0
+	return r
+}
+
+// Records returns every finished span sorted by path. Nil-safe (nil slice).
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.records...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// WriteJSONL writes one JSON object per finished span, sorted by path —
+// the blreport -trace-out format. Nil-safe (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

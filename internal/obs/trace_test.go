@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root("study")
+	child := sp.Child("stage")
+	child.SetAttr(String("k", "v"))
+	child.End()
+	sp.End()
+	if recs := tr.Records(); recs != nil {
+		t.Errorf("nil tracer records = %v", recs)
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil tracer JSONL: %v", err)
+	}
+}
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	tr := NewTracer()
+	study := tr.Root("study", Int("seed", 1))
+	crawl := study.Child("crawl")
+	v0 := crawl.Child("vantage 0")
+	v0.SetAttr(Int("replies", 10))
+	v0.End()
+	v1 := crawl.Child("vantage 1")
+	v1.End()
+	crawl.End()
+	study.SetAttr(String("status", "ok"))
+	study.End()
+	study.End() // double End records once
+
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records: %+v", len(recs), recs)
+	}
+	// Sorted by path: study < study/crawl < study/crawl/vantage 0 < … 1.
+	wantPaths := []string{"study", "study/crawl", "study/crawl/vantage 0", "study/crawl/vantage 1"}
+	for i, w := range wantPaths {
+		if recs[i].Path != w {
+			t.Errorf("record %d path = %q, want %q", i, recs[i].Path, w)
+		}
+	}
+	if recs[0].Depth != 0 || recs[2].Depth != 2 {
+		t.Errorf("depths = %d, %d", recs[0].Depth, recs[2].Depth)
+	}
+	if recs[0].Attrs["status"] != "ok" || recs[0].Attrs["seed"] != "1" {
+		t.Errorf("root attrs = %v", recs[0].Attrs)
+	}
+	if recs[2].Attrs["replies"] != "10" {
+		t.Errorf("vantage attrs = %v", recs[2].Attrs)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL lines = %d", len(lines))
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec.Path != "study" {
+		t.Errorf("first JSONL path = %q", rec.Path)
+	}
+}
+
+func TestStructuralStripsWallClock(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root("x")
+	sp.End()
+	rec := tr.Records()[0]
+	if rec.WallStartNS == 0 {
+		t.Error("wall start not recorded")
+	}
+	s := rec.Structural()
+	if s.WallStartNS != 0 || s.WallDurNS != 0 {
+		t.Errorf("Structural kept wall fields: %+v", s)
+	}
+	if s.Path != "x" {
+		t.Errorf("Structural lost path: %+v", s)
+	}
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root("x", String("k", "a"))
+	sp.SetAttr(String("k", "b"))
+	sp.End()
+	if got := tr.Records()[0].Attrs["k"]; got != "b" {
+		t.Errorf("attr k = %q, want b", got)
+	}
+}

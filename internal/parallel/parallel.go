@@ -24,6 +24,67 @@ import (
 	"sync/atomic"
 )
 
+// Counters is a snapshot of the package's always-on instrumentation. The
+// counters are process-global and monotonic; callers wanting per-run numbers
+// diff two snapshots (see Counters.Sub). Batches is invariant across worker
+// settings (a fan-out call is one batch no matter how it is scheduled);
+// Tasks, Inline, Spawned and MaxBatch depend on the worker count or on
+// worker-derived sharding, so observability consumers report them in the
+// wall-clock (non-golden) namespace.
+type Counters struct {
+	Batches  int64 // Map/ForEach/Do invocations
+	Tasks    int64 // items executed across all batches
+	Inline   int64 // items run inline on the calling goroutine
+	Spawned  int64 // worker goroutines spawned
+	MaxBatch int64 // largest single fan-out (peak queue occupancy)
+}
+
+// Sub returns the per-interval difference c - prev (MaxBatch is the
+// interval's running maximum only when it grew; otherwise 0).
+func (c Counters) Sub(prev Counters) Counters {
+	d := Counters{
+		Batches: c.Batches - prev.Batches,
+		Tasks:   c.Tasks - prev.Tasks,
+		Inline:  c.Inline - prev.Inline,
+		Spawned: c.Spawned - prev.Spawned,
+	}
+	if c.MaxBatch > prev.MaxBatch {
+		d.MaxBatch = c.MaxBatch
+	}
+	return d
+}
+
+var counters struct {
+	batches, tasks, inline, spawned, maxBatch atomic.Int64
+}
+
+// Snapshot returns the current package counters.
+func Snapshot() Counters {
+	return Counters{
+		Batches:  counters.batches.Load(),
+		Tasks:    counters.tasks.Load(),
+		Inline:   counters.inline.Load(),
+		Spawned:  counters.spawned.Load(),
+		MaxBatch: counters.maxBatch.Load(),
+	}
+}
+
+func noteBatch(n, spawned int64) {
+	counters.batches.Add(1)
+	counters.tasks.Add(n)
+	if spawned == 0 {
+		counters.inline.Add(n)
+	} else {
+		counters.spawned.Add(spawned)
+	}
+	for {
+		cur := counters.maxBatch.Load()
+		if n <= cur || counters.maxBatch.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Workers resolves a worker-count setting: values <= 0 mean "one worker per
 // available CPU" (GOMAXPROCS); positive values are returned unchanged.
 func Workers(n int) int {
@@ -48,11 +109,13 @@ func Map[T any](workers, n int, fn func(int) T) []T {
 		workers = n
 	}
 	if workers <= 1 {
+		noteBatch(int64(n), 0)
 		for i := 0; i < n; i++ {
 			out[i] = fn(i)
 		}
 		return out
 	}
+	noteBatch(int64(n), int64(workers))
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup

@@ -19,6 +19,7 @@ import (
 
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/obs"
 )
 
 // Dataset is the served reuse knowledge. Build one from a Study's report or
@@ -47,11 +48,28 @@ type Verdict struct {
 	Advice string `json:"advice"`
 }
 
+// Error is the JSON body of every non-2xx answer.
+type Error struct {
+	Error string `json:"error"`
+	// Detail names the offending parameter or value when there is one.
+	Detail string `json:"detail,omitempty"`
+}
+
 // Server wraps a Dataset with HTTP handlers. Safe for concurrent use; the
-// dataset can be swapped atomically with Update.
+// dataset can be swapped atomically with Update. The exported fields are
+// optional observability hooks; set them before calling Handler.
 type Server struct {
 	mu   sync.RWMutex
 	data *Dataset
+
+	// Obs, when non-nil, counts requests per endpoint (under the wall
+	// namespace — traffic is not part of the deterministic study surface)
+	// and is served in Prometheus text form at /metrics.
+	Obs *obs.Registry
+	// Manifest, when non-nil, is served as JSON at /debug/manifest.
+	Manifest obs.ManifestSource
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	EnablePprof bool
 }
 
 // NewServer builds a server over the dataset.
@@ -80,11 +98,37 @@ func normalize(data *Dataset) *Dataset {
 // Handler returns the HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/check", s.handleCheck)
-	mux.HandleFunc("/v1/list", s.handleList)
-	mux.HandleFunc("/v1/prefixes", s.handlePrefixes)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/check", s.counted("check", s.handleCheck))
+	mux.HandleFunc("/v1/list", s.counted("list", s.handleList))
+	mux.HandleFunc("/v1/prefixes", s.counted("prefixes", s.handlePrefixes))
+	mux.HandleFunc("/v1/stats", s.counted("stats", s.handleStats))
+	if s.Obs != nil {
+		mux.Handle("/metrics", obs.MetricsHandler(s.Obs))
+	}
+	if s.Manifest != nil {
+		mux.Handle("/debug/manifest", obs.ManifestHandler(s.Manifest))
+	}
+	if s.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
+}
+
+// counted wraps an endpoint handler with a per-endpoint request counter.
+// A nil registry counts nothing.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.Obs.Counter(obs.Name(obs.WallPrefix+"api_requests_total", "endpoint", endpoint)).Inc()
+		h(w, r)
+	}
+}
+
+// writeError answers with an Error body so clients never have to parse
+// free-text failures.
+func writeError(w http.ResponseWriter, code int, msg, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(Error{Error: msg, Detail: detail})
 }
 
 func (s *Server) snapshot() *Dataset {
@@ -95,13 +139,17 @@ func (s *Server) snapshot() *Dataset {
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
 	ipStr := r.URL.Query().Get("ip")
+	if ipStr == "" {
+		writeError(w, http.StatusBadRequest, "missing ip parameter", "")
+		return
+	}
 	addr, err := iputil.ParseAddr(ipStr)
 	if err != nil {
-		http.Error(w, "bad or missing ip parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "malformed ip parameter", ipStr)
 		return
 	}
 	data := s.snapshot()
@@ -130,7 +178,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
 	data := s.snapshot()
@@ -145,7 +193,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
 	data := s.snapshot()
@@ -156,17 +204,19 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Stats is the JSON answer of /v1/stats.
+// Stats is the JSON answer of /v1/stats. An empty dataset is a valid,
+// explicit answer — all counts zero and Empty true — not an error.
 type Stats struct {
 	NATedAddresses  int       `json:"nated_addresses"`
 	DynamicPrefixes int       `json:"dynamic_prefixes"`
 	MaxUsers        int       `json:"max_users"`
+	Empty           bool      `json:"empty"`
 	Generated       time.Time `json:"generated"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
 	data := s.snapshot()
@@ -180,6 +230,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.MaxUsers = u
 		}
 	}
+	st.Empty = st.NATedAddresses == 0 && st.DynamicPrefixes == 0
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
 }

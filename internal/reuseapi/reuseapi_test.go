@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/obs"
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
@@ -133,6 +134,94 @@ func TestStatsAndUpdate(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.NATedAddresses != 0 || st.MaxUsers != 0 {
 		t.Errorf("stats after update = %+v", st)
+	}
+}
+
+func TestCheckErrorBodies(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		url       string
+		wantError string
+		wantDet   string
+	}{
+		{ts.URL + "/v1/check", "missing ip parameter", ""},
+		{ts.URL + "/v1/check?ip=banana", "malformed ip parameter", "banana"},
+		{ts.URL + "/v1/check?ip=300.1.1.1", "malformed ip parameter", "300.1.1.1"},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.url, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q", tc.url, ct)
+		}
+		var e Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: body not JSON: %v", tc.url, err)
+		}
+		resp.Body.Close()
+		if e.Error != tc.wantError || e.Detail != tc.wantDet {
+			t.Errorf("%s: error = %+v", tc.url, e)
+		}
+	}
+}
+
+func TestStatsEmptyDataset(t *testing.T) {
+	srv := NewServer(&Dataset{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st Stats
+	resp := getJSON(t, ts.URL+"/v1/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 on empty dataset", resp.StatusCode)
+	}
+	if st.NATedAddresses != 0 || st.DynamicPrefixes != 0 || st.MaxUsers != 0 || !st.Empty {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestObsEndpoints(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.Obs = obs.NewRegistry()
+	srv.Manifest = func() *obs.Manifest { return obs.NewManifest() }
+	srv.EnablePprof = true
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/v1/check?ip=8.8.8.8"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := `wall_api_requests_total{endpoint="check"} 1`; !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing %q:\n%s", want, body)
+	}
+	resp, err = http.Get(ts.URL + "/debug/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("/debug/manifest not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if m.GoVersion == "" {
+		t.Errorf("manifest missing go version: %+v", m)
+	}
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
 	}
 }
 

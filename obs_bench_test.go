@@ -1,0 +1,91 @@
+// Benchmark for the observability layer's overhead: the same crawl-dominated
+// study as BenchmarkStudyParallel, once with instrumentation off (nil
+// registry and tracer — the hot paths see only nil-receiver no-ops) and once
+// with metrics and tracing fully on. The recorded BENCH_obs.json pins the
+// relative overhead, which must stay within a few percent.
+package reuseblock_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/obs"
+)
+
+// obsBenchResult is one instrumentation mode's measurement in BENCH_obs.json.
+type obsBenchResult struct {
+	Mode    string `json:"mode"` // "off" or "on"
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// BenchmarkStudyObs measures the instrumented pipeline against the
+// uninstrumented one and records both timings plus the relative overhead.
+func BenchmarkStudyObs(b *testing.B) {
+	wp := blgen.DefaultParams(1)
+	w := blgen.Generate(wp)
+	run := func(b *testing.B, instrument bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{
+				Seed:          1,
+				CrawlDuration: 6 * time.Hour,
+				Vantages:      4,
+			}
+			if instrument {
+				cfg.Obs = obs.NewRegistry()
+				cfg.Trace = obs.NewTracer()
+			}
+			s := core.NewStudyFromWorld(w, cfg)
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	nsPerOp := make(map[string]int64)
+	for _, mode := range []struct {
+		name       string
+		instrument bool
+	}{{"off", false}, {"on", true}} {
+		mode := mode
+		b.Run("obs="+mode.name, func(b *testing.B) {
+			run(b, mode.instrument)
+			nsPerOp[mode.name] = b.Elapsed().Nanoseconds() / int64(b.N)
+		})
+	}
+	if nsPerOp["off"] == 0 || nsPerOp["on"] == 0 {
+		return
+	}
+	overhead := float64(nsPerOp["on"]-nsPerOp["off"]) / float64(nsPerOp["off"]) * 100
+	b.ReportMetric(overhead, "%overhead")
+	out := struct {
+		Benchmark   string           `json:"benchmark"`
+		NumCPU      int              `json:"num_cpu"`
+		GOMAXPROCS  int              `json:"gomaxprocs"`
+		Vantages    int              `json:"vantages"`
+		CrawlHours  int              `json:"crawl_hours"`
+		Results     []obsBenchResult `json:"results"`
+		OverheadPct float64          `json:"overhead_pct"`
+	}{
+		Benchmark:  "BenchmarkStudyObs",
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Vantages:   4,
+		CrawlHours: 6,
+		Results: []obsBenchResult{
+			{Mode: "off", NsPerOp: nsPerOp["off"]},
+			{Mode: "on", NsPerOp: nsPerOp["on"]},
+		},
+		OverheadPct: overhead,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
