@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test ci bench bench-obs report fuzz clean
+.PHONY: all build vet test ci bench bench-obs report fuzz clean verify-props coverage
 
 all: build vet test
 
@@ -39,6 +39,20 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/bencode/
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/krpc/
 	$(GO) test -fuzz FuzzParseLog -fuzztime 30s ./internal/crawler/
+
+# Property-based verification: the fast metamorphic suite, the per-package
+# property tests, then the slow 50-world seed sweep (oracles, determinism,
+# worker invariance and fault-tolerance bands per world). Tune the sweep with
+# TESTKIT_SWEEP_COUNT / TESTKIT_SWEEP_START / TESTKIT_SWEEP_FAULTS.
+verify-props:
+	$(GO) test -run 'TestWorldProperties|TestWorldFaultTolerance' .
+	$(GO) test ./internal/testkit/ ./internal/kneedle/ ./internal/netsim/ ./internal/faults/ ./internal/ripeatlas/ ./internal/crawler/
+	$(GO) test -tags slow -run TestPropertySweep -timeout 30m -v .
+
+# Coverage ratchet: total -short coverage must stay above the committed
+# floor in scripts/coverage_floor.txt.
+coverage:
+	./scripts/coverage_ratchet.sh
 
 # bench_artifacts/ holds the committed golden files; regenerate with
 # `make bench` rather than deleting.

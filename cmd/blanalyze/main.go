@@ -17,9 +17,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"github.com/reuseblock/reuseblock/internal/analysis"
@@ -30,70 +31,90 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("blanalyze: ")
-	var (
-		feedsDir = flag.String("feeds", "", "directory of daily feed snapshots (required)")
-		natedF   = flag.String("nated", "", "NATed address list (plain, or 'addr<TAB>users')")
-		dynF     = flag.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
-		pfxF     = flag.String("pfx2as", "", "pfx2as snapshot for per-AS aggregation")
-		workers  = flag.Int("workers", 0, "worker goroutines for the sharded joins (0 = GOMAXPROCS, 1 = sequential)")
-	)
-	flag.Parse()
-	if *feedsDir == "" {
-		log.Fatal("-feeds is required")
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its exit code and streams surfaced so tests can drive the
+// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
+// runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		feedsDir = fs.String("feeds", "", "directory of daily feed snapshots (required)")
+		natedF   = fs.String("nated", "", "NATed address list (plain, or 'addr<TAB>users')")
+		dynF     = fs.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
+		pfxF     = fs.String("pfx2as", "", "pfx2as snapshot for per-AS aggregation")
+		workers  = fs.Int("workers", 0, "worker goroutines for the sharded joins (0 = GOMAXPROCS, 1 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *feedsDir == "" {
+		fmt.Fprintln(stderr, "blanalyze: -feeds is required")
+		return 1
+	}
+	if err := analyze(*feedsDir, *natedF, *dynF, *pfxF, *workers, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "blanalyze:", err)
+		return 1
+	}
+	return 0
+}
+
+func analyze(feedsDir, natedF, dynF, pfxF string, workers int, stdout, stderr io.Writer) error {
 	registry := blocklist.StandardRegistry()
-	col, skipped, err := blocklist.LoadSnapshotDir(*feedsDir, registry)
+	col, skipped, err := blocklist.LoadSnapshotDir(feedsDir, registry)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(skipped) > 0 {
-		fmt.Fprintf(os.Stderr, "skipped %d files with unknown feeds or bad names\n", len(skipped))
+		fmt.Fprintf(stderr, "skipped %d files with unknown feeds or bad names\n", len(skipped))
 	}
-	fmt.Printf("loaded %d observation days, %d blocklisted addresses\n",
+	fmt.Fprintf(stdout, "loaded %d observation days, %d blocklisted addresses\n",
 		len(col.Days()), col.AllAddrs().Len())
 
 	natUsers := map[iputil.Addr]int{}
-	if *natedF != "" {
-		f, ferr := os.Open(*natedF)
+	if natedF != "" {
+		f, ferr := os.Open(natedF)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return ferr
 		}
 		natUsers, err = blocklist.ParseNATedList(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("loaded %d NATed addresses\n", len(natUsers))
+		fmt.Fprintf(stdout, "loaded %d NATed addresses\n", len(natUsers))
 	}
 	dynPrefixes := iputil.NewPrefixSet()
-	if *dynF != "" {
-		f, ferr := os.Open(*dynF)
+	if dynF != "" {
+		f, ferr := os.Open(dynF)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return ferr
 		}
 		dynPrefixes, err = blocklist.ParsePrefixList(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("loaded %d dynamic prefixes\n", dynPrefixes.Len())
+		fmt.Fprintf(stdout, "loaded %d dynamic prefixes\n", dynPrefixes.Len())
 	}
 	asnOf := func(iputil.Addr) (int, bool) { return 0, false }
-	if *pfxF != "" {
-		f, err := os.Open(*pfxF)
-		if err != nil {
-			log.Fatal(err)
+	if pfxF != "" {
+		f, ferr := os.Open(pfxF)
+		if ferr != nil {
+			return ferr
 		}
 		tbl, perr := pfx2as.Parse(bufio.NewReader(f))
 		f.Close()
 		if perr != nil {
-			log.Fatal(perr)
+			return perr
 		}
 		asnOf = tbl.ASNOf
-		fmt.Printf("loaded %d pfx2as entries\n", tbl.Len())
+		fmt.Fprintf(stdout, "loaded %d pfx2as entries\n", tbl.Len())
 	}
 
 	in := &analysis.Inputs{
@@ -102,14 +123,14 @@ func main() {
 		DynamicPrefixes: dynPrefixes,
 		RIPEPrefixes:    dynPrefixes, // best available coverage proxy on disk datasets
 		ASNOf:           asnOf,
-		Workers:         *workers,
+		Workers:         workers,
 	}
 
 	per := analysis.ComputePerListReuse(in)
 	dur := analysis.ComputeDurations(in)
 	users := analysis.ComputeNATUsers(in)
 
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	sum := stats.NewTable("Reuse summary", "Quantity", "Value")
 	sum.AddRow("NATed listings", fmt.Sprint(per.NATedListings))
 	sum.AddRow("dynamic listings", fmt.Sprint(per.DynamicListings))
@@ -121,18 +142,19 @@ func main() {
 	sum.AddRow("mean days listed (NATed)", fmt.Sprintf("%.1f", dur.NATedMean))
 	sum.AddRow("mean days listed (dynamic)", fmt.Sprintf("%.1f", dur.DynamicMean))
 	sum.AddRow("max users behind a listed IP", fmt.Sprint(users.Max))
-	fmt.Print(sum.Render())
-	fmt.Println()
-	fmt.Print(per.Figure5().Render())
-	fmt.Println()
-	fmt.Print(per.Figure6().Render())
-	fmt.Println()
-	fmt.Print(dur.Figure7().Render())
-	fmt.Println()
-	fmt.Print(users.Figure8().Render())
-	if *pfxF != "" {
+	fmt.Fprint(stdout, sum.Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, per.Figure5().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, per.Figure6().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, dur.Figure7().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, users.Figure8().Render())
+	if pfxF != "" {
 		o := analysis.ComputeASOverlap(in)
-		fmt.Println()
-		fmt.Print(o.Figure3().Render())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, o.Figure3().Render())
 	}
+	return nil
 }

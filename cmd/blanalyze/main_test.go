@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/pfx2as"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of blanalyze") {
+		t.Fatalf("-h did not print usage:\n%s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestRunMissingFeeds(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("missing -feeds exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "-feeds is required") {
+		t.Fatalf("missing-flag error not reported:\n%s", errb.String())
+	}
+}
+
+func TestRunNonexistentFeedsDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-feeds", filepath.Join(t.TempDir(), "nope")}, &out, &errb); code != 1 {
+		t.Fatalf("nonexistent feeds dir exited %d, want 1", code)
+	}
+}
+
+// TestRunAnalyzesSnapshots builds a miniature on-disk dataset by hand — two
+// standard feeds over two days, a NATed list, a dynamic prefix, a pfx2as
+// table — and checks the analysis renders its summary and figures.
+func TestRunAnalyzesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	feeds := filepath.Join(dir, "feeds")
+	if err := os.MkdirAll(feeds, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snapshots := map[string]string{
+		"bad-ips-01_2020-01-01.txt":  "# snap\n203.0.113.7\n203.0.113.9\n",
+		"bad-ips-01_2020-01-02.txt":  "# snap\n203.0.113.7\n",
+		"bambenek-01_2020-01-01.txt": "# snap\n198.51.100.3\n203.0.113.9\n",
+		"bambenek-01_2020-01-02.txt": "# snap\n198.51.100.3\n",
+	}
+	for name, body := range snapshots {
+		if err := os.WriteFile(filepath.Join(feeds, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dyn := filepath.Join(dir, "dynamic.txt")
+	if err := os.WriteFile(dyn, []byte("198.51.100.0/24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pfxPath := filepath.Join(dir, "pfx2as.txt")
+	tbl := pfx2as.New()
+	tbl.Add(iputil.MustParsePrefix("203.0.113.0/24"), 64500)
+	tbl.Add(iputil.MustParsePrefix("198.51.100.0/24"), 64501)
+	pf, err := os.Create(pfxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pfx2as.Write(pf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-feeds", feeds, "-nated", nated, "-dynamic", dyn, "-pfx2as", pfxPath, "-workers", "1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("analysis exited %d\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"loaded 2 observation days",
+		"loaded 1 NATed addresses",
+		"loaded 1 dynamic prefixes",
+		"Reuse summary",
+		"NATed listings",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

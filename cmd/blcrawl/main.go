@@ -18,9 +18,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net"
 	"os"
 	"strings"
@@ -39,61 +40,79 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("blcrawl: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code and streams surfaced so tests can drive the
+// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
+// runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blcrawl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = flag.Int64("seed", 1, "world seed")
-		scale    = flag.Float64("scale", 0.5, "world scale")
-		duration = flag.Duration("duration", 24*time.Hour, "crawl duration (simulated; wall-clock in -real mode)")
-		loss     = flag.Float64("loss", 0.28, "datagram loss probability (simulated mode)")
-		out      = flag.String("out", "", "write detected NATed addresses to this file")
-		msgLog   = flag.String("log", "", "write the crawler message log to this file (replayable with crawler.Replay)")
-		realN    = flag.Int("real", 0, "run against N real DHT nodes on loopback UDP instead of the simulator")
-		replay   = flag.String("replay", "", "post-process an existing message log instead of crawling")
-		window   = flag.Duration("window", 30*time.Second, "ping-window for -replay scoring")
-		faultScn = flag.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
+		seed     = fs.Int64("seed", 1, "world seed")
+		scale    = fs.Float64("scale", 0.5, "world scale")
+		duration = fs.Duration("duration", 24*time.Hour, "crawl duration (simulated; wall-clock in -real mode)")
+		loss     = fs.Float64("loss", 0.28, "datagram loss probability (simulated mode)")
+		out      = fs.String("out", "", "write detected NATed addresses to this file")
+		msgLog   = fs.String("log", "", "write the crawler message log to this file (replayable with crawler.Replay)")
+		realN    = fs.Int("real", 0, "run against N real DHT nodes on loopback UDP instead of the simulator")
+		replay   = fs.String("replay", "", "post-process an existing message log instead of crawling")
+		window   = fs.Duration("window", 30*time.Second, "ping-window for -replay scoring")
+		faultScn = fs.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	scenario, err := faults.Lookup(*faultScn)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, "blcrawl:", err)
+		return 1
 	}
-	if *replay != "" {
-		runReplay(*replay, *window)
-		return
+	switch {
+	case *replay != "":
+		err = runReplay(*replay, *window, stdout)
+	case *realN > 0:
+		err = runReal(*realN, *duration, stdout)
+	default:
+		err = runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario, stdout, stderr)
 	}
-	if *realN > 0 {
-		runReal(*realN, *duration)
-		return
+	if err != nil {
+		fmt.Fprintln(stderr, "blcrawl:", err)
+		return 1
 	}
-	runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario)
+	return 0
 }
 
 // runReplay reproduces NAT determination offline from a message log — the
 // paper's post-processing step.
-func runReplay(path string, window time.Duration) {
+func runReplay(path string, window time.Duration, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	events, err := crawler.ParseLog(bufio.NewReader(f))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	obs := crawler.Replay(events, window)
-	fmt.Printf("replayed %d log events -> %d NATed addresses\n", len(events), len(obs))
+	fmt.Fprintf(stdout, "replayed %d log events -> %d NATed addresses\n", len(events), len(obs))
 	for _, o := range obs {
-		fmt.Printf("%s\tusers>=%d\tports=%d\n", o.Addr, o.Users, o.PortsSeen)
+		fmt.Fprintf(stdout, "%s\tusers>=%d\tports=%d\n", o.Addr, o.Users, o.PortsSeen)
 	}
+	return nil
 }
 
-func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario) {
+func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, stdout, stderr io.Writer) (err error) {
 	wp := blgen.DefaultParams(seed)
 	wp.Scale = scale
 	w := blgen.Generate(wp)
-	fmt.Fprintf(os.Stderr, "world: %d BT users, %d NAT gateways\n", len(w.BTUsers), len(w.NATs))
+	fmt.Fprintf(stderr, "world: %d BT users, %d NAT gateways\n", len(w.BTUsers), len(w.NATs))
 
 	scope := w.BlocklistedSpace()
 	swarm, err := core.BuildSwarm(w, core.SwarmConfig{
@@ -103,11 +122,11 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 		Faults:       scenario,
 	}, scope.Covers)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sock, err := swarm.Net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr("198.18.0.1"), Port: 9999})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ccfg := crawler.Config{
 		Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
@@ -124,11 +143,11 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 	if msgLog != "" {
 		lf, err := os.Create(msgLog)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer func() {
-			if err := lf.Close(); err != nil {
-				log.Fatal(err)
+			if cerr := lf.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		w := bufio.NewWriter(lf)
@@ -143,19 +162,19 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 	c.Stop()
 
 	st := c.Stats()
-	fmt.Printf("crawled %v of simulated time in %v\n", duration, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("messages sent:      %d (get_nodes %d, bt_ping %d)\n", st.MessagesSent, st.GetNodesSent, st.PingsSent)
-	fmt.Printf("responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
-	fmt.Printf("unique IPs:         %d\n", st.UniqueIPs)
-	fmt.Printf("unique node IDs:    %d\n", st.UniqueNodeIDs)
-	fmt.Printf("multi-port IPs:     %d\n", st.MultiPortIPs)
-	fmt.Printf("NATed IPs:          %d (max %d simultaneous users)\n", st.NATedIPs, st.SimultaneousMax)
+	fmt.Fprintf(stdout, "crawled %v of simulated time in %v\n", duration, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "messages sent:      %d (get_nodes %d, bt_ping %d)\n", st.MessagesSent, st.GetNodesSent, st.PingsSent)
+	fmt.Fprintf(stdout, "responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
+	fmt.Fprintf(stdout, "unique IPs:         %d\n", st.UniqueIPs)
+	fmt.Fprintf(stdout, "unique node IDs:    %d\n", st.UniqueNodeIDs)
+	fmt.Fprintf(stdout, "multi-port IPs:     %d\n", st.MultiPortIPs)
+	fmt.Fprintf(stdout, "NATed IPs:          %d (max %d simultaneous users)\n", st.NATedIPs, st.SimultaneousMax)
 	if scenario != nil {
-		fmt.Printf("resilience:         %d retries, %d late replies, %d endpoints evicted\n",
+		fmt.Fprintf(stdout, "resilience:         %d retries, %d late replies, %d endpoints evicted\n",
 			st.Retries, st.LateReplies, st.Evicted)
 		if swarm.Injector != nil {
 			fs := swarm.Injector.Stats()
-			fmt.Printf("%-20s%d burst-dropped, %d blackout-dropped, %d rate-limited, %d corrupted\n",
+			fmt.Fprintf(stdout, "%-20s%d burst-dropped, %d blackout-dropped, %d rate-limited, %d corrupted\n",
 				"faults ("+scenario.Name+"):", fs.BurstDropped, fs.BlackoutDropped, fs.RateLimited, fs.Corrupted)
 		}
 	}
@@ -169,27 +188,29 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 		}
 	}
 	if detected.Len() > 0 {
-		fmt.Printf("ground truth:       %d/%d detected addresses are true NAT gateways\n",
+		fmt.Fprintf(stdout, "ground truth:       %d/%d detected addresses are true NAT gateways\n",
 			truePositives, detected.Len())
 	}
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := blocklist.WritePlain(f, detected, "NATed addresses detected by blcrawl"); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d addresses to %s\n", detected.Len(), out)
+		fmt.Fprintf(stderr, "wrote %d addresses to %s\n", detected.Len(), out)
 	}
+	return nil
 }
 
 // runReal spawns n real DHT nodes on loopback UDP and crawls them with the
 // same crawler code over a real socket.
-func runReal(n int, duration time.Duration) {
+func runReal(n int, duration time.Duration, stdout io.Writer) error {
 	var mu sync.Mutex
 	clock := dht.LockedClock(&mu, dht.WallClock())
 
@@ -199,7 +220,7 @@ func runReal(n int, duration time.Duration) {
 	for i := 0; i < n; i++ {
 		pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sock := dht.NewRealSocket(pc, &mu)
 		mu.Lock()
@@ -224,7 +245,7 @@ func runReal(n int, duration time.Duration) {
 
 	pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	csock := dht.NewRealSocket(pc, &mu)
 	mu.Lock()
@@ -241,22 +262,22 @@ func runReal(n int, duration time.Duration) {
 	c.Start()
 	mu.Unlock()
 
-	fmt.Printf("crawling %d real loopback DHT nodes for %v...\n", n, duration)
+	fmt.Fprintf(stdout, "crawling %d real loopback DHT nodes for %v...\n", n, duration)
 	time.Sleep(duration)
 
 	mu.Lock()
 	c.Stop()
 	st := c.Stats()
 	mu.Unlock()
-	fmt.Printf("messages sent:      %d\n", st.MessagesSent)
-	fmt.Printf("responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
-	fmt.Printf("unique IPs:         %d (loopback shares 127.0.0.1 across ports)\n", st.UniqueIPs)
-	fmt.Printf("unique node IDs:    %d of %d\n", st.UniqueNodeIDs, n)
-	fmt.Printf("NATed IPs:          %d\n", st.NATedIPs)
+	fmt.Fprintf(stdout, "messages sent:      %d\n", st.MessagesSent)
+	fmt.Fprintf(stdout, "responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
+	fmt.Fprintf(stdout, "unique IPs:         %d (loopback shares 127.0.0.1 across ports)\n", st.UniqueIPs)
+	fmt.Fprintf(stdout, "unique node IDs:    %d of %d\n", st.UniqueNodeIDs, n)
+	fmt.Fprintf(stdout, "NATed IPs:          %d\n", st.NATedIPs)
 	if st.NATedIPs == 1 {
-		fmt.Println("note: all loopback nodes share 127.0.0.1, so the crawler correctly")
-		fmt.Println("      identifies it as one address shared by many simultaneous users —")
-		fmt.Println("      exactly the NAT signature of §3.1.")
+		fmt.Fprintln(stdout, "note: all loopback nodes share 127.0.0.1, so the crawler correctly")
+		fmt.Fprintln(stdout, "      identifies it as one address shared by many simultaneous users —")
+		fmt.Fprintln(stdout, "      exactly the NAT signature of §3.1.")
 	}
 
 	mu.Lock()
@@ -268,6 +289,7 @@ func runReal(n int, duration time.Duration) {
 	for _, s := range socks {
 		s.Wait()
 	}
+	return nil
 }
 
 func infoFor(n *dht.Node, ep netsim.Endpoint) krpc.NodeInfo {

@@ -9,9 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -23,49 +24,69 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("blgen: ")
-	var (
-		out   = flag.String("out", "", "output directory (required)")
-		seed  = flag.Int64("seed", 1, "world seed")
-		scale = flag.Float64("scale", 0.25, "world scale")
-		days  = flag.Int("days", 0, "limit snapshot output to the first N observation days")
-	)
-	flag.Parse()
-	if *out == "" {
-		log.Fatal("-out is required")
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	wp := blgen.DefaultParams(*seed)
-	wp.Scale = *scale
+// run is main with its exit code and streams surfaced so tests can drive the
+// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
+// runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out   = fs.String("out", "", "output directory (required)")
+		seed  = fs.Int64("seed", 1, "world seed")
+		scale = fs.Float64("scale", 0.25, "world scale")
+		days  = fs.Int("days", 0, "limit snapshot output to the first N observation days")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "blgen: -out is required")
+		return 1
+	}
+	if err := generate(*out, *seed, *scale, *days, stdout); err != nil {
+		fmt.Fprintln(stderr, "blgen:", err)
+		return 1
+	}
+	return 0
+}
+
+func generate(out string, seed int64, scale float64, days int, stdout io.Writer) error {
+	wp := blgen.DefaultParams(seed)
+	wp.Scale = scale
 	w := blgen.Generate(wp)
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
 	}
 
 	// RIPE connection logs.
-	ripePath := filepath.Join(*out, "ripe-connection-logs.csv")
+	ripePath := filepath.Join(out, "ripe-connection-logs.csv")
 	rf, err := os.Create(ripePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := ripeatlas.WriteLogs(rf, w.RIPELogs); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := rf.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d RIPE log entries to %s\n", len(w.RIPELogs), ripePath)
+	fmt.Fprintf(stdout, "wrote %d RIPE log entries to %s\n", len(w.RIPELogs), ripePath)
 
 	// Daily feed snapshots.
-	snapDir := filepath.Join(*out, "feeds")
+	snapDir := filepath.Join(out, "feeds")
 	if err := os.MkdirAll(snapDir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nDays := len(w.Collection.Days())
-	if *days > 0 && *days < nDays {
-		nDays = *days
+	if days > 0 && days < nDays {
+		nDays = days
 	}
 	written := 0
 	for fi, feed := range w.Registry.Feeds {
@@ -83,26 +104,26 @@ func main() {
 			path := filepath.Join(snapDir, fmt.Sprintf("%s_%s.txt", feed.Name, date))
 			f, err := os.Create(path)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			header := fmt.Sprintf("%s snapshot %s (maintainer: %s, type: %s)",
 				feed.Name, date, feed.Maintainer, feed.Type)
 			if err := blocklist.WritePlain(f, addrs, header); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			written++
 		}
 	}
-	fmt.Printf("wrote %d feed snapshots to %s\n", written, snapDir)
+	fmt.Fprintf(stdout, "wrote %d feed snapshots to %s\n", written, snapDir)
 
 	// pfx2as snapshot so blanalyze can aggregate per AS.
-	pfxPath := filepath.Join(*out, "pfx2as.txt")
+	pfxPath := filepath.Join(out, "pfx2as.txt")
 	pf, err := os.Create(pfxPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tbl := pfx2as.New()
 	for _, a := range w.ASes {
@@ -111,20 +132,20 @@ func main() {
 		}
 	}
 	if err := pfx2as.Write(pf, tbl); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := pf.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d pfx2as entries to %s\n", tbl.Len(), pfxPath)
+	fmt.Fprintf(stdout, "wrote %d pfx2as entries to %s\n", tbl.Len(), pfxPath)
 
 	// Ground truth.
-	gtPath := filepath.Join(*out, "ground-truth.txt")
+	gtPath := filepath.Join(out, "ground-truth.txt")
 	gt, err := os.Create(gtPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprintf(gt, "# ground truth for seed=%d scale=%g\n", *seed, *scale)
+	fmt.Fprintf(gt, "# ground truth for seed=%d scale=%g\n", seed, scale)
 	fmt.Fprintf(gt, "# nat <public-addr> <total-users> <bt-users> <restricted>\n")
 	for _, n := range w.NATs {
 		fmt.Fprintf(gt, "nat %s %d %d %v\n", n.Addr, n.TotalUsers, n.BTUsers, n.Restricted)
@@ -134,8 +155,9 @@ func main() {
 		fmt.Fprintf(gt, "dynamic-pool %s\n", p)
 	}
 	if err := gt.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote ground truth (%d NATs, %d fast pools) to %s\n",
+	fmt.Fprintf(stdout, "wrote ground truth (%d NATs, %d fast pools) to %s\n",
 		len(w.NATs), w.TrueFastDynamic.Len(), gtPath)
+	return nil
 }

@@ -17,9 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,28 +35,41 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("blreport: ")
-	var (
-		seed      = flag.Int64("seed", 1, "world seed")
-		scale     = flag.Float64("scale", 1, "world scale (1 = default bench world)")
-		crawl     = flag.Duration("crawl", 0, "simulated crawl duration (default 48h)")
-		skipCrawl = flag.Bool("skip-crawl", false, "skip the BitTorrent crawl stage")
-		skipICMP  = flag.Bool("skip-icmp", false, "skip the ICMP survey baseline")
-		reusedOut = flag.String("reused-out", "", "write the reused-address list to this file")
-		svgDir    = flag.String("svg", "", "also render every figure as SVG into this directory")
-		workers   = flag.Int("workers", 0, "worker goroutines for the deterministic fan-outs (0 = GOMAXPROCS, 1 = sequential)")
-		faultScn  = flag.String("faults", "", "fault scenario to inject (one of: "+strings.Join(faults.Names(), ", ")+")")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		traceOut    = flag.String("trace-out", "", "write the run's trace spans (JSONL) to this file")
-		metricsOut  = flag.String("metrics-out", "", "write the deterministic metric snapshot to this file")
-		manifestOut = flag.String("manifest-out", "", "write the run manifest (JSON) to this file")
+// run is main with its exit code and streams surfaced so tests can drive the
+// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
+// runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed      = fs.Int64("seed", 1, "world seed")
+		scale     = fs.Float64("scale", 1, "world scale (1 = default bench world)")
+		crawl     = fs.Duration("crawl", 0, "simulated crawl duration (default 48h)")
+		skipCrawl = fs.Bool("skip-crawl", false, "skip the BitTorrent crawl stage")
+		skipICMP  = fs.Bool("skip-icmp", false, "skip the ICMP survey baseline")
+		reusedOut = fs.String("reused-out", "", "write the reused-address list to this file")
+		svgDir    = fs.String("svg", "", "also render every figure as SVG into this directory")
+		workers   = fs.Int("workers", 0, "worker goroutines for the deterministic fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		faultScn  = fs.String("faults", "", "fault scenario to inject (one of: "+strings.Join(faults.Names(), ", ")+")")
+
+		traceOut    = fs.String("trace-out", "", "write the run's trace spans (JSONL) to this file")
+		metricsOut  = fs.String("metrics-out", "", "write the deterministic metric snapshot to this file")
+		manifestOut = fs.String("manifest-out", "", "write the run manifest (JSON) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	scenario, err := faults.Lookup(*faultScn)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, "blreport:", err)
+		return 1
 	}
 
 	wp := blgen.DefaultParams(*seed)
@@ -78,22 +92,24 @@ func main() {
 
 	start := time.Now()
 	study := core.NewStudy(cfg)
-	fmt.Fprintf(os.Stderr, "world generated in %v: %d ASes, %d BitTorrent users, %d feeds\n",
+	fmt.Fprintf(stderr, "world generated in %v: %d ASes, %d BitTorrent users, %d feeds\n",
 		time.Since(start).Round(time.Millisecond), len(study.World.ASes),
 		len(study.World.BTUsers), study.World.Registry.Len())
 
 	start = time.Now()
 	report, err := study.Run()
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, "blreport:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "study ran in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "study ran in %v\n", time.Since(start).Round(time.Millisecond))
 
-	fmt.Print(report.Render())
+	fmt.Fprint(stdout, report.Render())
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		figures := map[string]struct {
 			fig *stats.Figure
@@ -110,55 +126,66 @@ func main() {
 		for name, fo := range figures {
 			path := filepath.Join(*svgDir, name)
 			if err := os.WriteFile(path, []byte(svgplot.Render(fo.fig, fo.opt)), 0o644); err != nil {
-				log.Fatal(err)
+				fmt.Fprintln(stderr, "blreport:", err)
+				return 1
 			}
 		}
-		fmt.Fprintf(os.Stderr, "rendered %d figures to %s\n", len(figures), *svgDir)
+		fmt.Fprintf(stderr, "rendered %d figures to %s\n", len(figures), *svgDir)
 	}
 
 	if *reusedOut != "" {
 		f, err := os.Create(*reusedOut)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		if err := report.WriteReusedList(f); err != nil {
 			f.Close()
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d reused addresses to %s\n", report.ReusedAddrs.Len(), *reusedOut)
+		fmt.Fprintf(stderr, "wrote %d reused addresses to %s\n", report.ReusedAddrs.Len(), *reusedOut)
 	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		if err := cfg.Trace.WriteJSONL(f); err != nil {
 			f.Close()
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", len(cfg.Trace.Records()), *traceOut)
+		fmt.Fprintf(stderr, "wrote %d trace spans to %s\n", len(cfg.Trace.Records()), *traceOut)
 	}
 	if *metricsOut != "" {
 		if err := os.WriteFile(*metricsOut, []byte(cfg.Obs.RenderText(false)), 0o644); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote metric snapshot to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "wrote metric snapshot to %s\n", *metricsOut)
 	}
 	if *manifestOut != "" {
 		data, err := study.Manifest().JSON()
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
 		if err := os.WriteFile(*manifestOut, data, 0o644); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "blreport:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote run manifest to %s\n", *manifestOut)
+		fmt.Fprintf(stderr, "wrote run manifest to %s\n", *manifestOut)
 	}
+	return 0
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of blreport") {
+		t.Fatalf("-h did not print usage:\n%s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestRunUnknownFaultScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-faults", "does-not-exist"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown scenario exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "does-not-exist") {
+		t.Fatalf("error does not name the scenario:\n%s", errb.String())
+	}
+}
+
+// TestRunTinyStudy drives the full study end-to-end through the CLI surface
+// with every output flag set, and verifies the whole artifact set exists and
+// is non-empty.
+func TestRunTinyStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study run")
+	}
+	dir := t.TempDir()
+	svgDir := filepath.Join(dir, "svg")
+	outs := map[string]string{
+		"reused":   filepath.Join(dir, "reused.txt"),
+		"trace":    filepath.Join(dir, "trace.jsonl"),
+		"metrics":  filepath.Join(dir, "metrics.txt"),
+		"manifest": filepath.Join(dir, "manifest.json"),
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-seed", "1", "-scale", "0.05", "-crawl", "1h", "-workers", "1",
+		"-reused-out", outs["reused"],
+		"-trace-out", outs["trace"],
+		"-metrics-out", outs["metrics"],
+		"-manifest-out", outs["manifest"],
+		"-svg", svgDir,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("tiny study exited %d\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Table", "Figure", "NAT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report output missing %q", want)
+		}
+	}
+	for name, path := range outs {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s artifact: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s artifact %s is empty", name, path)
+		}
+	}
+	svgs, err := filepath.Glob(filepath.Join(svgDir, "*.svg"))
+	if err != nil || len(svgs) != 7 {
+		t.Errorf("want 7 SVG figures, got %d (%v)", len(svgs), err)
+	}
+}

@@ -16,9 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -32,64 +33,45 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("blserve: ")
-	var (
-		natedF   = flag.String("nated", "", "NATed address list (plain or 'addr<TAB>users')")
-		dynF     = flag.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
-		generate = flag.Bool("generate", false, "run a synthetic study instead of loading files")
-		seed     = flag.Int64("seed", 1, "seed for -generate")
-		scale    = flag.Float64("scale", 0.25, "world scale for -generate")
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	reg := obs.NewRegistry()
-	manifest := obs.NewManifest()
-	data := &reuseapi.Dataset{
-		NATUsers:        map[iputil.Addr]int{},
-		DynamicPrefixes: iputil.NewPrefixSet(),
-		Generated:       time.Now().UTC(),
+// serveOptions carries the parsed flags into dataset construction.
+type serveOptions struct {
+	natedF, dynF string
+	generate     bool
+	seed         int64
+	scale        float64
+}
+
+// run is main with its exit code and streams surfaced so tests can drive the
+// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
+// runtime failures. The blocking ListenAndServe stays here; tests cover the
+// flag handling through run and the dataset paths through buildDataset.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		natedF   = fs.String("nated", "", "NATed address list (plain or 'addr<TAB>users')")
+		dynF     = fs.String("dynamic", "", "dynamic prefix list (one CIDR per line)")
+		generate = fs.Bool("generate", false, "run a synthetic study instead of loading files")
+		seed     = fs.Int64("seed", 1, "seed for -generate")
+		scale    = fs.Float64("scale", 0.25, "world scale for -generate")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		pprofOn  = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	switch {
-	case *generate:
-		wp := blgen.DefaultParams(*seed)
-		wp.Scale = *scale
-		study := core.NewStudy(core.Config{Seed: *seed, World: &wp, SkipICMP: true, Obs: reg})
-		if _, err := study.Run(); err != nil {
-			log.Fatal(err)
-		}
-		for _, o := range study.NATed {
-			data.NATUsers[o.Addr] = o.Users
-		}
-		data.DynamicPrefixes = study.RIPE.DynamicPrefixes
-		manifest = study.Manifest()
-	case *natedF != "" || *dynF != "":
-		if *natedF != "" {
-			f, err := os.Open(*natedF)
-			if err != nil {
-				log.Fatal(err)
-			}
-			data.NATUsers, err = blocklist.ParseNATedList(f)
-			f.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
-		if *dynF != "" {
-			f, err := os.Open(*dynF)
-			if err != nil {
-				log.Fatal(err)
-			}
-			data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
-			f.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
-	default:
-		log.Fatal("provide -nated/-dynamic files or -generate")
+
+	opts := serveOptions{natedF: *natedF, dynF: *dynF, generate: *generate, seed: *seed, scale: *scale}
+	data, reg, manifest, err := buildDataset(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "blserve:", err)
+		return 1
 	}
 
 	srv := reuseapi.NewServer(data)
@@ -102,8 +84,64 @@ func main() {
 		m.Metrics = reg.Snapshot(true)
 		return &m
 	}
-	fmt.Printf("serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
+	fmt.Fprintf(stdout, "serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
 		len(data.NATUsers), data.DynamicPrefixes.Len(), *addr)
-	fmt.Printf("try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", *addr, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	fmt.Fprintf(stdout, "try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", *addr, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, "blserve:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildDataset assembles the dataset to serve, either from on-disk lists or
+// from a fresh synthetic study.
+func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Manifest, error) {
+	reg := obs.NewRegistry()
+	manifest := obs.NewManifest()
+	data := &reuseapi.Dataset{
+		NATUsers:        map[iputil.Addr]int{},
+		DynamicPrefixes: iputil.NewPrefixSet(),
+		Generated:       time.Now().UTC(),
+	}
+	switch {
+	case opts.generate:
+		wp := blgen.DefaultParams(opts.seed)
+		wp.Scale = opts.scale
+		study := core.NewStudy(core.Config{Seed: opts.seed, World: &wp, SkipICMP: true, Obs: reg})
+		if _, err := study.Run(); err != nil {
+			return nil, nil, nil, err
+		}
+		for _, o := range study.NATed {
+			data.NATUsers[o.Addr] = o.Users
+		}
+		data.DynamicPrefixes = study.RIPE.DynamicPrefixes
+		manifest = study.Manifest()
+	case opts.natedF != "" || opts.dynF != "":
+		if opts.natedF != "" {
+			f, err := os.Open(opts.natedF)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			data.NATUsers, err = blocklist.ParseNATedList(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if opts.dynF != "" {
+			f, err := os.Open(opts.dynF)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	default:
+		return nil, nil, nil, errors.New("provide -nated/-dynamic files or -generate")
+	}
+	return data, reg, manifest, nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/reuseapi"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of blserve") {
+		t.Fatalf("-h did not print usage:\n%s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestRunNoSource(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("no data source exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "provide -nated/-dynamic files or -generate") {
+		t.Fatalf("error not reported:\n%s", errb.String())
+	}
+}
+
+// TestBuildDatasetFromFiles covers the load path run blocks on ListenAndServe
+// for: the dataset must contain exactly the listed addresses and prefixes,
+// and the assembled handler must answer /v1/check.
+func TestBuildDatasetFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dyn := filepath.Join(dir, "dynamic.txt")
+	if err := os.WriteFile(dyn, []byte("198.51.100.0/24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	data, reg, manifest, err := buildDataset(serveOptions{natedF: nated, dynF: dyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.NATUsers) != 1 || data.DynamicPrefixes.Len() != 1 {
+		t.Fatalf("dataset = %d NATed, %d prefixes; want 1, 1",
+			len(data.NATUsers), data.DynamicPrefixes.Len())
+	}
+	if reg == nil || manifest == nil {
+		t.Fatal("registry or manifest is nil")
+	}
+
+	srv := reuseapi.NewServer(data)
+	srv.Obs = reg
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/check?ip=203.0.113.7", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "203.0.113.7") {
+		t.Fatalf("/v1/check = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBuildDatasetMissingFile(t *testing.T) {
+	_, _, _, err := buildDataset(serveOptions{natedF: filepath.Join(t.TempDir(), "nope.txt")})
+	if err == nil {
+		t.Fatal("missing file must error")
+	}
+}

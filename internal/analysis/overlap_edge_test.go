@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// emptyInputs builds a collection with feeds and days but no recorded
+// addresses — the day-zero state of a real deployment.
+func emptyInputs(t *testing.T) *Inputs {
+	t.Helper()
+	reg, err := blocklist.NewRegistry([]blocklist.Feed{
+		{Name: "spam", Type: blocklist.Spam},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []time.Time{time.Date(2019, 8, 3, 0, 0, 0, 0, time.UTC)}
+	return &Inputs{
+		Collection: blocklist.NewCollection(reg, days),
+		NATUsers:   map[iputil.Addr]int{},
+		ASNOf:      func(iputil.Addr) (int, bool) { return 0, false },
+	}
+}
+
+func TestComputeASOverlapEmpty(t *testing.T) {
+	o := ComputeASOverlap(emptyInputs(t))
+	if o.ASesWithBlocklisted != 0 || o.ASesWithBT != 0 || o.ASesWithRIPE != 0 {
+		t.Fatalf("empty collection produced AS counts: %+v", o)
+	}
+	if len(o.PerAS) != 0 {
+		t.Fatalf("empty collection produced %d per-AS rows", len(o.PerAS))
+	}
+	if o.Top10Share != 0 || o.TopASShare != 0 || o.TopAS != 0 {
+		t.Fatalf("empty collection produced top-AS stats: %+v", o)
+	}
+	// Figure 3 over nothing must render (with no series) rather than panic.
+	if fig := o.Figure3(); fig == nil {
+		t.Fatal("Figure3 returned nil")
+	}
+}
+
+func TestComputeFunnelEmpty(t *testing.T) {
+	f := ComputeFunnel(emptyInputs(t), 0, RIPEStages{})
+	if *f != (Funnel{}) {
+		t.Fatalf("empty inputs produced nonzero funnel: %+v", f)
+	}
+	if tbl := f.Table(); !strings.Contains(tbl.Render(), "NATed IPs") {
+		t.Fatal("funnel table lost its rows")
+	}
+}
+
+// TestComputeASOverlapSingleAS: with every address in one AS, the top-10 and
+// top-AS aggregates all collapse onto that AS, and the shorter-than-ten tail
+// must not trip the top-10 window.
+func TestComputeASOverlapSingleAS(t *testing.T) {
+	in := fixture(t)
+	in.ASNOf = func(iputil.Addr) (int, bool) { return 42, true }
+	o := ComputeASOverlap(in)
+	if o.ASesWithBlocklisted != 1 || len(o.PerAS) != 1 {
+		t.Fatalf("single-AS world produced %d ASes", o.ASesWithBlocklisted)
+	}
+	if o.TopAS != 42 || o.TopASBlocked != 4 {
+		t.Fatalf("top AS = %d with %d blocked, want 42 with 4", o.TopAS, o.TopASBlocked)
+	}
+	if o.Top10Share != 1 || o.TopASShare != 1 {
+		t.Fatalf("single AS must own the whole distribution: top10=%v topAS=%v",
+			o.Top10Share, o.TopASShare)
+	}
+	if o.PerAS[0].BT == 0 || o.PerAS[0].RIPE == 0 {
+		t.Fatalf("fixture BT/RIPE overlap lost in single-AS world: %+v", o.PerAS[0])
+	}
+}
+
+// TestComputeASOverlapNoReuseOverlap: a blocklist population that neither
+// runs BitTorrent nor sits in RIPE-covered space — every overlap statistic
+// must report zero, and Figure 3 must degrade to the blocklisted curve only.
+func TestComputeASOverlapNoReuseOverlap(t *testing.T) {
+	in := fixture(t)
+	in.BTObserved = iputil.NewSet()
+	in.RIPEPrefixes = iputil.NewPrefixSet()
+	o := ComputeASOverlap(in)
+	if o.ASesWithBT != 0 || o.ASesWithRIPE != 0 {
+		t.Fatalf("no-overlap world reports BT/RIPE ASes: %+v", o)
+	}
+	if o.Top10BTShare != 0 || o.Top10RIPEShare != 0 || o.TopASBTShare != 0 || o.TopASRIPEShare != 0 {
+		t.Fatalf("no-overlap world reports nonzero shares: %+v", o)
+	}
+	rendered := o.Figure3().Render()
+	if !strings.Contains(rendered, "blocklisted addresses") {
+		t.Fatal("Figure3 lost the blocklisted series")
+	}
+	if strings.Contains(rendered, "BitTorrent") || strings.Contains(rendered, "RIPE") {
+		t.Fatalf("Figure3 renders empty series:\n%s", rendered)
+	}
+	// nil sets must behave exactly like empty sets.
+	in.BTObserved = nil
+	in.RIPEPrefixes = nil
+	o2 := ComputeASOverlap(in)
+	if o2.ASesWithBT != 0 || o2.ASesWithRIPE != 0 {
+		t.Fatalf("nil BT/RIPE inputs differ from empty: %+v", o2)
+	}
+}
+
+// TestComputeFunnelNoReuseOverlap: NATed addresses that are never listed and
+// stages that cover no blocklisted address must leave every intersection at
+// zero while the raw detector counts pass through.
+func TestComputeFunnelNoReuseOverlap(t *testing.T) {
+	in := fixture(t)
+	in.NATUsers = map[iputil.Addr]int{iputil.MustParseAddr("203.0.113.9"): 5}
+	in.RIPEPrefixes = iputil.NewPrefixSet()
+	far := iputil.NewPrefixSet()
+	far.Add(iputil.MustParsePrefix("192.0.2.0/24"))
+	f := ComputeFunnel(in, 1234, RIPEStages{SameAS: far, Frequent: far, Daily: far})
+	if f.BTIPs != 1234 || f.NATedIPs != 1 {
+		t.Fatalf("raw counts mangled: %+v", f)
+	}
+	if f.NATedBlocklisted != 0 || f.BlocklistedInRIPEPrefixes != 0 ||
+		f.SameASBlocklisted != 0 || f.FrequentBlocklisted != 0 || f.DailyBlocklisted != 0 {
+		t.Fatalf("disjoint populations produced overlap: %+v", f)
+	}
+}
+
+// TestComputeASOverlapWorkerInvariance: the sharded walk must match the
+// sequential one on an edge-shaped (tiny, single-digit-AS) input too.
+func TestComputeASOverlapWorkerInvariance(t *testing.T) {
+	seq := fixture(t)
+	seq.Workers = 1
+	par := fixture(t)
+	par.Workers = 4
+	a, b := ComputeASOverlap(seq), ComputeASOverlap(par)
+	if len(a.PerAS) != len(b.PerAS) {
+		t.Fatalf("per-AS rows differ: %d vs %d", len(a.PerAS), len(b.PerAS))
+	}
+	for i := range a.PerAS {
+		if a.PerAS[i] != b.PerAS[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.PerAS[i], b.PerAS[i])
+		}
+	}
+	if a.Top10Share != b.Top10Share || a.TopAS != b.TopAS {
+		t.Fatalf("aggregates differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,46 @@
+// Mutation-robustness tests: the committed fuzz corpus under testdata/fuzz
+// was discovered by running testkit.MutateBytes over valid documents and
+// keeping one input per distinct decoder error site. This test keeps that
+// discovery live — every mutant must decode without panicking, and accepted
+// mutants must re-encode canonically. It lives in an external test package
+// because testkit (via core, crawler and krpc) imports bencode.
+package bencode_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/bencode"
+	"github.com/reuseblock/reuseblock/internal/testkit"
+)
+
+func TestDecodeRobustUnderMutation(t *testing.T) {
+	seeds := [][]byte{
+		[]byte("d1:ad2:idi7ee1:q4:ping1:t2:aa1:y1:qe"),
+		[]byte("li1eli2eli3eeee"),
+		[]byte("d1:a1:b1:c1:de"),
+		[]byte("i-42e"),
+		[]byte("26:abcdefghijklmnopqrstuvwxyz"),
+	}
+	for si, seed := range seeds {
+		for mi, m := range testkit.MutateBytes(int64(100+si), seed, 500) {
+			v, err := bencode.Decode(m)
+			if err != nil {
+				continue
+			}
+			enc, err := bencode.Encode(v)
+			if err != nil {
+				t.Fatalf("seed %d mutant %d (%q): accepted value failed to encode: %v", si, mi, m, err)
+			}
+			v2, err := bencode.Decode(enc)
+			if err != nil {
+				t.Fatalf("seed %d mutant %d (%q): canonical encoding failed to decode: %v", si, mi, m, err)
+			}
+			enc2, err := bencode.Encode(v2)
+			if err != nil || !bytes.Equal(enc, enc2) {
+				t.Fatalf("seed %d mutant %d (%q): re-encode not canonical: %q vs %q (%v)",
+					si, mi, m, enc, enc2, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Property tests for the offline NAT post-processor: Replay's sliding-window
+// lower bound must be order-independent and monotone under added evidence,
+// for random message logs — not just the handcrafted cases in log_test.go.
+package crawler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/krpc"
+)
+
+// genLog builds a random ping-reply log over nAddrs gateways, each with a
+// random pool of (port, node-ID) endpoints replying at random times. Every
+// event gets a unique timestamp so replay order is fully determined.
+func genLog(rng *rand.Rand, nAddrs, maxEndpoints, nEvents int) []LogEvent {
+	type endpoint struct {
+		port uint16
+		id   krpc.NodeID
+	}
+	pools := make(map[iputil.Addr][]endpoint, nAddrs)
+	addrs := make([]iputil.Addr, 0, nAddrs)
+	for i := 0; i < nAddrs; i++ {
+		a := iputil.AddrFrom4(10, 1, byte(i>>8), byte(i+1))
+		addrs = append(addrs, a)
+		n := 1 + rng.Intn(maxEndpoints)
+		pool := make([]endpoint, n)
+		for j := range pool {
+			var id krpc.NodeID
+			rng.Read(id[:])
+			pool[j] = endpoint{port: uint16(1024 + rng.Intn(60000)), id: id}
+		}
+		pools[a] = pool
+	}
+	events := make([]LogEvent, 0, nEvents)
+	base := time.Date(2019, 8, 3, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < nEvents; i++ {
+		a := addrs[rng.Intn(len(addrs))]
+		e := pools[a][rng.Intn(len(pools[a]))]
+		events = append(events, LogEvent{
+			// Unique, strictly increasing jittered timestamps.
+			At:     base.Add(time.Duration(i)*137*time.Millisecond + time.Duration(rng.Intn(1000))*time.Microsecond),
+			Kind:   EvPingRx,
+			Addr:   a,
+			Port:   e.port,
+			NodeID: e.id,
+			HasID:  true,
+		})
+	}
+	return events
+}
+
+func observationsByAddr(obs []NATObservation) map[iputil.Addr]NATObservation {
+	m := make(map[iputil.Addr]NATObservation, len(obs))
+	for _, o := range obs {
+		m[o.Addr] = o
+	}
+	return m
+}
+
+func TestReplayOrderInvariance(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		events := genLog(rng, 5, 6, 300)
+		base := Replay(events, time.Minute)
+
+		shuffled := append([]LogEvent(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Replay(shuffled, time.Minute)
+
+		bm, gm := observationsByAddr(base), observationsByAddr(got)
+		if len(bm) != len(gm) {
+			t.Fatalf("seed %d: %d observations became %d after shuffling the log", seed, len(bm), len(gm))
+		}
+		for a, b := range bm {
+			g, ok := gm[a]
+			if !ok || g.Users != b.Users {
+				t.Fatalf("seed %d: %s users %d became %v after shuffling", seed, a, b.Users, g)
+			}
+		}
+	}
+}
+
+// TestReplayMonotoneUnderAddedReplies: appending reply events can only add
+// evidence — no address may lose its NATed flag, and no user lower bound may
+// decrease. This is the generalization the end-to-end pipeline cannot test
+// (changing a world perturbs every downstream RNG stream); at the replay
+// layer it is a theorem of the max-over-windows min(ports, IDs) bound.
+func TestReplayMonotoneUnderAddedReplies(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		events := genLog(rng, 4, 6, 200)
+		extra := genLog(rand.New(rand.NewSource(seed+1000)), 6, 8, 120)
+
+		before := observationsByAddr(Replay(events, time.Minute))
+		after := observationsByAddr(Replay(append(append([]LogEvent(nil), events...), extra...), time.Minute))
+
+		for a, b := range before {
+			g, ok := after[a]
+			if !ok {
+				t.Fatalf("seed %d: %s lost its NATed observation after adding replies", seed, a)
+			}
+			if g.Users < b.Users {
+				t.Fatalf("seed %d: %s user bound decreased %d -> %d after adding replies",
+					seed, a, b.Users, g.Users)
+			}
+		}
+	}
+}
+
+// TestReplayBoundSoundness: the reported user count can never exceed the
+// number of distinct endpoints that actually replied from the address, and
+// confirmed observations always carry at least two users.
+func TestReplayBoundSoundness(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 200))
+		events := genLog(rng, 6, 5, 250)
+		distinctPorts := make(map[iputil.Addr]map[uint16]bool)
+		for _, e := range events {
+			if distinctPorts[e.Addr] == nil {
+				distinctPorts[e.Addr] = make(map[uint16]bool)
+			}
+			distinctPorts[e.Addr][e.Port] = true
+		}
+		for _, o := range Replay(events, time.Minute) {
+			if o.Users < 2 {
+				t.Fatalf("seed %d: observation %s with %d users below the confirmation rule", seed, o.Addr, o.Users)
+			}
+			if n := len(distinctPorts[o.Addr]); o.Users > n {
+				t.Fatalf("seed %d: %s claims %d users but only %d distinct ports replied", seed, o.Addr, o.Users, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Property tests for the scenario catalogue: every named scenario must be
+// valid, Lookup must hand out copies (callers cannot corrupt the library),
+// and Validate must reject each class of out-of-range mutant it documents.
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogueAllValid(t *testing.T) {
+	for _, name := range Names() {
+		scn, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if scn == nil || scn.Name != name {
+			t.Fatalf("%s: Lookup returned %+v", name, scn)
+		}
+		if err := scn.Validate(); err != nil {
+			t.Errorf("catalogue scenario %s fails its own validation: %v", name, err)
+		}
+		if scn.Description == "" {
+			t.Errorf("catalogue scenario %s has no description", name)
+		}
+	}
+}
+
+func TestLookupReturnsCopies(t *testing.T) {
+	a, err := Lookup("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "mutated"
+	a.Gilbert = nil
+	b, err := Lookup("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "bursty" || b.Gilbert == nil {
+		t.Fatalf("mutating a Lookup result corrupted the catalogue: %+v", b)
+	}
+}
+
+func TestLookupNoneAndUnknown(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		if scn, err := Lookup(name); scn != nil || err != nil {
+			t.Fatalf("Lookup(%q) = %v, %v; want nil, nil", name, scn, err)
+		}
+	}
+	if _, err := Lookup("does-not-exist"); err == nil {
+		t.Fatal("unknown scenario name must error")
+	}
+}
+
+// TestValidateRejectsMutants: each documented range constraint, exercised by
+// one minimally-broken scenario. If a constraint is relaxed by accident,
+// the corresponding mutant stops failing and this test names it.
+func TestValidateRejectsMutants(t *testing.T) {
+	mutants := map[string]*Scenario{
+		"gilbert prob > 1": {Gilbert: &GilbertElliott{PGoodBad: 1.5}},
+		"gilbert prob < 0": {Gilbert: &GilbertElliott{LossBad: -0.1}},
+		"blackout empty window": {Blackouts: []Blackout{
+			{Start: time.Hour, End: time.Hour, FracOf24s: 0.1}}},
+		"blackout negative start": {Blackouts: []Blackout{
+			{Start: -time.Minute, End: time.Hour, FracOf24s: 0.1}}},
+		"blackout matches nothing": {Blackouts: []Blackout{
+			{Start: 0, End: time.Hour}}},
+		"ratelimit zero rate":   {RateLimit: &RateLimit{RatePerSec: 0, Burst: 1}},
+		"ratelimit zero burst":  {RateLimit: &RateLimit{RatePerSec: 1, Burst: 0}},
+		"corruption prob > 1":   {Corruption: &Corruption{Prob: 1.2}},
+		"byzantine frac > 1":    {Byzantine: &Byzantine{Frac: 1.5, Nodes: 4}},
+		"byzantine nodes > 64":  {Byzantine: &Byzantine{Frac: 0.2, Nodes: 65}},
+		"storm zero frac":       {Storms: []RestartStorm{{At: time.Hour, Frac: 0}}},
+		"storm negative at":     {Storms: []RestartStorm{{At: -time.Hour, Frac: 0.5}}},
+		"icmp loss = 1":         {ICMP: &ICMPFaults{ProbeLoss: 1}},
+		"icmp retransmits > 16": {ICMP: &ICMPFaults{ProbeLoss: 0.1, Retransmits: 17}},
+	}
+	for name, scn := range mutants {
+		if err := scn.Validate(); err == nil {
+			t.Errorf("mutant %q passed validation", name)
+		}
+	}
+	var nilScn *Scenario
+	if err := nilScn.Validate(); err != nil {
+		t.Errorf("nil scenario must validate: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+// Property tests for the knee detector: for random allocation-count
+// profiles with a planted knee, FindSortedCounts must be order-independent,
+// scale-equivariant, and must find the planted threshold region.
+package kneedle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genCounts plants a knee: head probes with large allocation counts, a long
+// tail of small ones — the Fig 2 shape. Returns the profile shuffled.
+func genCounts(rng *rand.Rand, nHead, nTail, headLo, tailHi int) []int {
+	counts := make([]int, 0, nHead+nTail)
+	for i := 0; i < nHead; i++ {
+		counts = append(counts, headLo+rng.Intn(headLo))
+	}
+	for i := 0; i < nTail; i++ {
+		counts = append(counts, 1+rng.Intn(tailHi))
+	}
+	rng.Shuffle(len(counts), func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+	return counts
+}
+
+func TestFindSortedCountsOrderInvariance(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		counts := genCounts(rng, 5+rng.Intn(10), 40+rng.Intn(60), 200, 5)
+		opt := Options{LogY: true}
+		knee, idx, err := FindSortedCounts(counts, opt)
+
+		shuffled := append([]int(nil), counts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		knee2, idx2, err2 := FindSortedCounts(shuffled, opt)
+
+		if (err == nil) != (err2 == nil) || knee != knee2 || idx != idx2 {
+			t.Fatalf("seed %d: knee (%d, %d, %v) changed to (%d, %d, %v) under input shuffle",
+				seed, knee, idx, err, knee2, idx2, err2)
+		}
+	}
+}
+
+// TestFindSortedCountsScaleEquivariance: with LogY, multiplying every count
+// by a constant shifts the log curve without changing its shape, so the
+// knee index must not move and the knee value must scale with the input.
+func TestFindSortedCountsScaleEquivariance(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed + 50))
+		counts := genCounts(rng, 6+rng.Intn(8), 50+rng.Intn(50), 300, 4)
+		opt := Options{LogY: true}
+		knee, idx, err := FindSortedCounts(counts, opt)
+		if err != nil {
+			continue // no knee in this draw; nothing to compare
+		}
+		const k = 7
+		scaled := make([]int, len(counts))
+		for i, c := range counts {
+			scaled[i] = c * k
+		}
+		knee2, idx2, err2 := FindSortedCounts(scaled, opt)
+		if err2 != nil {
+			t.Fatalf("seed %d: knee vanished under ×%d scaling: %v", seed, k, err2)
+		}
+		if idx2 != idx || knee2 != knee*k {
+			t.Fatalf("seed %d: knee (%d at %d) became (%d at %d) under ×%d scaling",
+				seed, knee, idx, knee2, idx2, k)
+		}
+	}
+}
+
+// TestFindSortedCountsPlantedKnee: the detected threshold must land in the
+// boundary region between the planted head and the planted tail — kneedle
+// only promises the curvature maximum, which can sit on the last tail value
+// at the cliff edge, so the band is [tailHi, headLo*2].
+func TestFindSortedCountsPlantedKnee(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		const headLo, tailHi = 500, 3
+		counts := genCounts(rng, 8, 80, headLo, tailHi)
+		knee, _, err := FindSortedCounts(counts, Options{LogY: true})
+		if err != nil {
+			continue
+		}
+		found++
+		if knee < tailHi || knee > headLo*2 {
+			t.Fatalf("seed %d: knee %d outside the planted boundary [%d, %d]",
+				seed, knee, tailHi, headLo*2)
+		}
+	}
+	if found < 15 {
+		t.Fatalf("knee found in only %d/25 planted profiles", found)
+	}
+}

@@ -17,10 +17,10 @@ func FuzzUnmarshal(f *testing.F) {
 	// every interesting boundary and node strings whose length is not a
 	// multiple of CompactNodeLen.
 	corrupt := [][]byte{
-		resp[:len(resp)/2],             // truncated mid-message
-		resp[:len(resp)-1],             // missing final 'e'
-		ping[:1],                       // lone 'd'
-		fn[:len(fn)/3],                 // truncated query
+		resp[:len(resp)/2], // truncated mid-message
+		resp[:len(resp)-1], // missing final 'e'
+		ping[:1],           // lone 'd'
+		fn[:len(fn)/3],     // truncated query
 		[]byte("d1:rd2:id20:aaaaaaaaaaaaaaaaaaaa5:nodes13:aaaaaaaaaaaaae1:t2:cc1:y1:re"), // nodes len 13 (%26 != 0)
 		[]byte("d1:rd2:id20:aaaaaaaaaaaaaaaaaaaa5:nodes0:e1:t2:cc1:y1:re"),               // empty nodes
 		[]byte("d1:rd5:nodes27:aaaaaaaaaaaaaaaaaaaaaaaaaaae1:t2:cc1:y1:re"),              // 26+1 bytes

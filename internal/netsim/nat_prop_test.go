@@ -1,0 +1,105 @@
+// Property tests for the NAT model: for any random population of internal
+// users behind one gateway, the external port mappings — the crawler's
+// entire evidence base — must be distinct per user, stable while live, and
+// counted exactly by ActiveMappings. This is the ground-truth side of the
+// paper's port-counting lower bound.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func TestNATMappingsDistinctPerUser(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := newTestNet(t, Config{Seed: seed})
+		nat := mustNAT(t, n, NATConfig{
+			PublicAddr: iputil.MustParseAddr("100.64.0.1"),
+			FirstPort:  uint16(1024 + rng.Intn(60000)),
+		})
+		server, _ := n.Listen(ep("10.0.0.9", 53))
+		ports := make(map[uint16]bool)
+		server.SetHandler(func(f Endpoint, _ []byte) {
+			if f.Addr != nat.PublicAddr() {
+				t.Errorf("seed %d: datagram from %v, want the NAT public address", seed, f.Addr)
+			}
+			ports[f.Port] = true
+		})
+
+		users := 2 + rng.Intn(19)
+		socks := make([]Socket, users)
+		for u := 0; u < users; u++ {
+			priv := iputil.AddrFrom4(192, 168, byte(u>>8), byte(u+1))
+			s, err := nat.Listen(priv, uint16(6881+rng.Intn(4)))
+			if err != nil {
+				t.Fatalf("seed %d: Listen user %d: %v", seed, u, err)
+			}
+			socks[u] = s
+		}
+		// Each user sends a few datagrams; re-sends must reuse the same
+		// mapping, not burn new ports.
+		for round := 0; round < 3; round++ {
+			for u, s := range socks {
+				s.Send(ep("10.0.0.9", 53), []byte(fmt.Sprintf("%d-%d", u, round)))
+			}
+		}
+		n.Clock().Drain(0)
+
+		if len(ports) != users {
+			t.Fatalf("seed %d: %d users produced %d distinct external ports", seed, users, len(ports))
+		}
+		if got := nat.ActiveMappings(); got != users {
+			t.Fatalf("seed %d: ActiveMappings = %d, want %d", seed, got, users)
+		}
+		// The public endpoint a user reports must stay stable while the
+		// mapping is live.
+		for u, s := range socks {
+			pub, ok := s.PublicEndpoint()
+			if !ok || !ports[pub.Port] {
+				t.Fatalf("seed %d: user %d public endpoint %v/%v not among observed ports", seed, u, pub, ok)
+			}
+		}
+	}
+}
+
+// TestNATMappingExpiryFreesPorts: after the mapping TTL idles out, the same
+// user sending again may receive a fresh port, but the distinct-port
+// invariant must keep holding for concurrently active users.
+func TestNATMappingExpiryFreesPorts(t *testing.T) {
+	n := newTestNet(t, Config{})
+	const ttlMin = 10
+	nat := mustNAT(t, n, NATConfig{PublicAddr: iputil.MustParseAddr("100.64.0.1")})
+	server, _ := n.Listen(ep("10.0.0.9", 53))
+	server.SetHandler(func(Endpoint, []byte) {})
+
+	u1, _ := nat.Listen(iputil.MustParseAddr("192.168.0.10"), 6881)
+	u2, _ := nat.Listen(iputil.MustParseAddr("192.168.0.11"), 6881)
+	u1.Send(ep("10.0.0.9", 53), []byte("a"))
+	u2.Send(ep("10.0.0.9", 53), []byte("b"))
+	n.Clock().Drain(0)
+	if got := nat.ActiveMappings(); got != 2 {
+		t.Fatalf("ActiveMappings = %d, want 2", got)
+	}
+
+	// Idle far past the default TTL; the expired mappings must be gone.
+	n.Clock().RunFor(ttlMin * 6 * time.Minute)
+	if got := nat.ActiveMappings(); got != 0 {
+		t.Fatalf("ActiveMappings after TTL = %d, want 0", got)
+	}
+	u1.Send(ep("10.0.0.9", 53), []byte("c"))
+	u2.Send(ep("10.0.0.9", 53), []byte("d"))
+	n.Clock().Drain(0)
+	if got := nat.ActiveMappings(); got != 2 {
+		t.Fatalf("ActiveMappings after re-send = %d, want 2", got)
+	}
+	p1, ok1 := u1.PublicEndpoint()
+	p2, ok2 := u2.PublicEndpoint()
+	if !ok1 || !ok2 || p1.Port == p2.Port {
+		t.Fatalf("re-mapped users share a port: %v, %v", p1, p2)
+	}
+}

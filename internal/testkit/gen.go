@@ -1,0 +1,224 @@
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/faults"
+)
+
+// WorldSpec is one randomized point in the space of worlds and study shapes
+// the simulator can produce. Every field stays inside a range the generator
+// documents; the zero value is NOT valid — use GenWorldSpec or DefaultSpec.
+type WorldSpec struct {
+	Seed  int64
+	Scale float64 // world scale; small enough to keep a study sub-second
+
+	// CGN shape.
+	CGNFrac              float64 // share of eyeball space behind carrier NAT
+	GatewaysPerCGNPrefix int     // gateways per CGN /24
+	NATZeroBTFrac        float64 // gateways with no BitTorrent users
+	NATOneBTFrac         float64 // gateways with exactly one
+
+	// Dynamic-pool shape and churn.
+	DynamicFrac    float64 // share of eyeball space on DHCP pools
+	RestartsPerDay float64 // public clients' daily restart (churn) rate
+
+	// Blocklist mix.
+	TopFeedDetectP  float64 // detection prob of the big community feeds
+	BaseFeedDetectP float64 // mean detection prob of small sensor feeds
+	DelistLag1P     float64 // P(delisted one day after last event)
+
+	// Probe fleet.
+	ProbeASFrac float64 // fraction of eyeball ASes hosting probes
+	ProbesPerAS int
+	MoverFrac   float64 // probes that relocate across ASes
+
+	// Study shape.
+	Vantages   int
+	CrawlHours int
+}
+
+// DefaultSpec is the tamest point of the space: the calibrated bench world
+// at test scale. Shrinking moves fields toward these values.
+func DefaultSpec(seed int64) WorldSpec {
+	p := blgen.DefaultParams(seed)
+	return WorldSpec{
+		Seed:                 seed,
+		Scale:                0.05,
+		CGNFrac:              p.CGNFrac,
+		GatewaysPerCGNPrefix: p.GatewaysPerCGNPrefix,
+		NATZeroBTFrac:        p.NATZeroBTFrac,
+		NATOneBTFrac:         p.NATOneBTFrac,
+		DynamicFrac:          p.DynamicFrac,
+		RestartsPerDay:       0.15, // core.Config's calibrated default churn
+		TopFeedDetectP:       p.TopFeedDetectP,
+		BaseFeedDetectP:      p.BaseFeedDetectP,
+		DelistLag1P:          p.DelistLag1P,
+		ProbeASFrac:          p.ProbeASFrac,
+		ProbesPerAS:          p.ProbesPerAS,
+		MoverFrac:            p.MoverFrac,
+		Vantages:             1,
+		CrawlHours:           2,
+	}
+}
+
+// GenWorldSpec draws a randomized spec. Everything — including the world
+// seed — derives from the one generator seed, so a failing spec reproduces
+// from the seed alone. Ranges are chosen to stay inside the regimes the
+// simulator is calibrated for while still varying every dimension the
+// detectors are sensitive to.
+func GenWorldSpec(genSeed int64) WorldSpec {
+	rng := rand.New(rand.NewSource(genSeed))
+	s := WorldSpec{
+		Seed:  int64(rng.Intn(1 << 20)),
+		Scale: 0.04 + rng.Float64()*0.04, // 0.04–0.08: viable yet sub-second
+
+		CGNFrac:              0.06 + rng.Float64()*0.16, // 0.06–0.22
+		GatewaysPerCGNPrefix: 16 + rng.Intn(57),         // 16–72
+		NATZeroBTFrac:        0.30 + rng.Float64()*0.30, // 0.30–0.60
+		NATOneBTFrac:         0.05 + rng.Float64()*0.15, // 0.05–0.20
+
+		DynamicFrac:    0.15 + rng.Float64()*0.25, // 0.15–0.40
+		RestartsPerDay: rng.Float64() * 0.6,       // 0–0.6
+
+		TopFeedDetectP:  0.50 + rng.Float64()*0.40, // 0.50–0.90
+		BaseFeedDetectP: 0.10 + rng.Float64()*0.40, // 0.10–0.50
+		DelistLag1P:     0.40 + rng.Float64()*0.40, // 0.40–0.80
+
+		ProbeASFrac: 0.10 + rng.Float64()*0.25, // 0.10–0.35
+		ProbesPerAS: 6 + rng.Intn(9),           // 6–14
+		MoverFrac:   rng.Float64() * 0.30,      // 0–0.30
+
+		Vantages:   1 + rng.Intn(2), // 1–2
+		CrawlHours: 2 + rng.Intn(4), // 2–5
+	}
+	return s
+}
+
+// Params realizes the world-generation side of the spec on top of the
+// calibrated defaults. StaticFrac absorbs what CGN and dynamic space leave,
+// capped at the default so the three kind fractions never exceed 1.
+func (s WorldSpec) Params() blgen.Params {
+	p := blgen.DefaultParams(s.Seed)
+	p.Scale = s.Scale
+	p.CGNFrac = s.CGNFrac
+	p.GatewaysPerCGNPrefix = s.GatewaysPerCGNPrefix
+	p.NATZeroBTFrac = s.NATZeroBTFrac
+	p.NATOneBTFrac = s.NATOneBTFrac
+	p.DynamicFrac = s.DynamicFrac
+	if rem := 1 - p.CGNFrac - p.DynamicFrac - 0.02; rem < p.StaticFrac {
+		p.StaticFrac = rem
+	}
+	p.TopFeedDetectP = s.TopFeedDetectP
+	p.BaseFeedDetectP = s.BaseFeedDetectP
+	p.DelistLag1P = s.DelistLag1P
+	p.ProbeASFrac = s.ProbeASFrac
+	p.ProbesPerAS = s.ProbesPerAS
+	p.MoverFrac = s.MoverFrac
+	return p
+}
+
+// StudyConfig realizes the study side of the spec.
+func (s WorldSpec) StudyConfig(workers int, scenario *faults.Scenario) core.Config {
+	wp := s.Params()
+	return core.Config{
+		Seed:           s.Seed,
+		World:          &wp,
+		CrawlDuration:  time.Duration(s.CrawlHours) * time.Hour,
+		RestartsPerDay: restartsOrDisabled(s.RestartsPerDay),
+		Vantages:       s.Vantages,
+		Workers:        workers,
+		Faults:         scenario,
+	}
+}
+
+// restartsOrDisabled maps the spec's churn rate onto core.Config's encoding
+// (0 means "default", negative means "off").
+func restartsOrDisabled(v float64) float64 {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
+func (s WorldSpec) String() string {
+	return fmt.Sprintf("WorldSpec{Seed:%d Scale:%.3f CGN:%.2f×%d natZero:%.2f natOne:%.2f Dyn:%.2f Restarts:%.2f topP:%.2f baseP:%.2f lag1:%.2f probes:%.2f×%d movers:%.2f vantages:%d crawl:%dh}",
+		s.Seed, s.Scale, s.CGNFrac, s.GatewaysPerCGNPrefix, s.NATZeroBTFrac, s.NATOneBTFrac,
+		s.DynamicFrac, s.RestartsPerDay, s.TopFeedDetectP, s.BaseFeedDetectP, s.DelistLag1P,
+		s.ProbeASFrac, s.ProbesPerAS, s.MoverFrac, s.Vantages, s.CrawlHours)
+}
+
+// Shrink greedily simplifies a failing spec: each pass moves one field
+// halfway toward the tame default and keeps the move if the property still
+// fails, until no move survives or the budget of fails() calls runs out.
+// It returns the simplest still-failing spec found. fails must be a pure
+// function of the spec.
+func Shrink(spec WorldSpec, fails func(WorldSpec) bool, budget int) WorldSpec {
+	tame := DefaultSpec(spec.Seed)
+	moves := []func(*WorldSpec, WorldSpec){
+		func(s *WorldSpec, t WorldSpec) { s.Scale = halfwayF(s.Scale, t.Scale) },
+		func(s *WorldSpec, t WorldSpec) { s.CGNFrac = halfwayF(s.CGNFrac, t.CGNFrac) },
+		func(s *WorldSpec, t WorldSpec) {
+			s.GatewaysPerCGNPrefix = halfwayI(s.GatewaysPerCGNPrefix, t.GatewaysPerCGNPrefix)
+		},
+		func(s *WorldSpec, t WorldSpec) { s.NATZeroBTFrac = halfwayF(s.NATZeroBTFrac, t.NATZeroBTFrac) },
+		func(s *WorldSpec, t WorldSpec) { s.NATOneBTFrac = halfwayF(s.NATOneBTFrac, t.NATOneBTFrac) },
+		func(s *WorldSpec, t WorldSpec) { s.DynamicFrac = halfwayF(s.DynamicFrac, t.DynamicFrac) },
+		func(s *WorldSpec, t WorldSpec) { s.RestartsPerDay = halfwayF(s.RestartsPerDay, t.RestartsPerDay) },
+		func(s *WorldSpec, t WorldSpec) { s.TopFeedDetectP = halfwayF(s.TopFeedDetectP, t.TopFeedDetectP) },
+		func(s *WorldSpec, t WorldSpec) { s.BaseFeedDetectP = halfwayF(s.BaseFeedDetectP, t.BaseFeedDetectP) },
+		func(s *WorldSpec, t WorldSpec) { s.DelistLag1P = halfwayF(s.DelistLag1P, t.DelistLag1P) },
+		func(s *WorldSpec, t WorldSpec) { s.ProbeASFrac = halfwayF(s.ProbeASFrac, t.ProbeASFrac) },
+		func(s *WorldSpec, t WorldSpec) { s.ProbesPerAS = halfwayI(s.ProbesPerAS, t.ProbesPerAS) },
+		func(s *WorldSpec, t WorldSpec) { s.MoverFrac = halfwayF(s.MoverFrac, t.MoverFrac) },
+		func(s *WorldSpec, t WorldSpec) { s.Vantages = t.Vantages },
+		func(s *WorldSpec, t WorldSpec) { s.CrawlHours = halfwayI(s.CrawlHours, t.CrawlHours) },
+	}
+	best := spec
+	for budget > 0 {
+		improved := false
+		for _, move := range moves {
+			if budget <= 0 {
+				break
+			}
+			cand := best
+			move(&cand, tame)
+			if cand == best {
+				continue
+			}
+			budget--
+			if fails(cand) {
+				best = cand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+func halfwayF(v, target float64) float64 {
+	next := v + (target-v)/2
+	// Snap tiny remaining gaps so shrinking terminates.
+	if d := next - target; d < 1e-3 && d > -1e-3 {
+		return target
+	}
+	return next
+}
+
+func halfwayI(v, target int) int {
+	if v == target {
+		return v
+	}
+	next := v + (target-v)/2
+	if next == v {
+		return target
+	}
+	return next
+}

@@ -1,0 +1,52 @@
+package testkit
+
+import "math/rand"
+
+// MutateBytes derives n deterministic mutants of a seed input for
+// grammar-free robustness testing of the wire decoders (bencode, KRPC).
+// The moves mirror a coverage-guided fuzzer's cheap stage — bit flips, byte
+// swaps, truncation, duplication, interesting-value splices — so decoder
+// tests can sweep mutants of valid messages and crashers found this way can
+// be committed into testdata/fuzz corpora.
+func MutateBytes(seed int64, input []byte, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		m := append([]byte(nil), input...)
+		// Each mutant applies 1–4 stacked moves.
+		for moves := 1 + rng.Intn(4); moves > 0; moves-- {
+			m = mutateOnce(rng, m)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// interesting are boundary bytes that historically break length-prefixed
+// and type-tagged decoders.
+var interesting = []byte{0x00, 0x01, 0x7f, 0x80, 0xff, ':', 'e', 'i', 'l', 'd', '-', '0', '9'}
+
+func mutateOnce(rng *rand.Rand, m []byte) []byte {
+	if len(m) == 0 {
+		return []byte{interesting[rng.Intn(len(interesting))]}
+	}
+	switch rng.Intn(6) {
+	case 0: // flip one bit
+		m[rng.Intn(len(m))] ^= 1 << rng.Intn(8)
+	case 1: // overwrite with an interesting byte
+		m[rng.Intn(len(m))] = interesting[rng.Intn(len(interesting))]
+	case 2: // truncate
+		m = m[:rng.Intn(len(m))]
+	case 3: // duplicate a span
+		i := rng.Intn(len(m))
+		j := i + 1 + rng.Intn(len(m)-i)
+		m = append(m[:j:j], append(append([]byte(nil), m[i:j]...), m[j:]...)...)
+	case 4: // insert an interesting byte
+		i := rng.Intn(len(m) + 1)
+		m = append(m[:i:i], append([]byte{interesting[rng.Intn(len(interesting))]}, m[i:]...)...)
+	case 5: // swap two bytes
+		i, j := rng.Intn(len(m)), rng.Intn(len(m))
+		m[i], m[j] = m[j], m[i]
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+package testkit
+
+import (
+	"math"
+
+	"github.com/reuseblock/reuseblock/internal/analysis"
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// CheckIdenticalRenders is the byte-equality relation behind seed
+// determinism and worker-count invariance: two runs that differ only in an
+// execution-policy knob must render identical reports.
+func CheckIdenticalRenders(relation, a, b string) error {
+	if a != b {
+		return violatef(relation, "reports diverge at %s", firstDiff(a, b))
+	}
+	return nil
+}
+
+// CheckMonotoneCounts verifies that after adding inputs (a blocklist entry,
+// a NAT user, a reply event) no per-bucket count decreased.
+func CheckMonotoneCounts(relation string, before, after []int) error {
+	if len(before) != len(after) {
+		return violatef(relation, "bucket count changed: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if after[i] < before[i] {
+			return violatef(relation, "bucket %d decreased: %d -> %d", i, before[i], after[i])
+		}
+	}
+	return nil
+}
+
+// CheckMonotoneScalar verifies a single aggregate did not decrease.
+func CheckMonotoneScalar(relation, name string, before, after int) error {
+	if after < before {
+		return violatef(relation, "%s decreased: %d -> %d", name, before, after)
+	}
+	return nil
+}
+
+// CheckScalarEqual verifies an order-free aggregate matched across two runs
+// that should agree (e.g. under a feed permutation).
+func CheckScalarEqual(relation, name string, a, b int) error {
+	if a != b {
+		return violatef(relation, "%s differs: %d vs %d", name, a, b)
+	}
+	return nil
+}
+
+// CheckFloatEqual is CheckScalarEqual for derived ratios; eps absorbs the
+// float error of summing in a different order.
+func CheckFloatEqual(relation, name string, a, b, eps float64) error {
+	if math.Abs(a-b) > eps {
+		return violatef(relation, "%s differs: %g vs %g", name, a, b)
+	}
+	return nil
+}
+
+// CheckPermutedCounts verifies per-feed counts commute with a feed
+// permutation: permuted[perm[i]] must equal base[i].
+func CheckPermutedCounts(relation string, base, permuted, perm []int) error {
+	if len(base) != len(permuted) || len(base) != len(perm) {
+		return violatef(relation, "length mismatch: base %d, permuted %d, perm %d",
+			len(base), len(permuted), len(perm))
+	}
+	for i := range base {
+		if permuted[perm[i]] != base[i] {
+			return violatef(relation, "feed %d (-> %d): count %d became %d",
+				i, perm[i], base[i], permuted[perm[i]])
+		}
+	}
+	return nil
+}
+
+// CheckToleranceBand verifies a fault scenario degraded a headline metric
+// by no more than maxDrop (absolute). Improvements are always in band —
+// the retry policy routinely beats the give-up-on-first-loss baseline.
+func CheckToleranceBand(relation string, base, faulted, maxDrop float64) error {
+	if drop := base - faulted; drop > maxDrop {
+		return violatef(relation, "metric dropped %.3f (%.3f -> %.3f), tolerance %.3f",
+			drop, base, faulted, maxDrop)
+	}
+	return nil
+}
+
+// PermuteCollection rebuilds a collection with feeds reordered by perm
+// (feed i of the original becomes feed perm[i]) but the exact same per-day
+// presence. The result feeds the permutation-invariance relation: every
+// aggregate that does not mention feed identity must match the original.
+func PermuteCollection(col *blocklist.Collection, perm []int) (*blocklist.Collection, error) {
+	reg := col.Registry()
+	feeds := make([]blocklist.Feed, reg.Len())
+	for i, f := range reg.Feeds {
+		feeds[perm[i]] = f
+	}
+	preg, err := blocklist.NewRegistry(feeds)
+	if err != nil {
+		return nil, err
+	}
+	out := blocklist.NewCollection(preg, col.Days())
+	if err := copyPresence(col, out, perm); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CloneCollection rebuilds a collection unchanged — the identity
+// permutation. Monotonicity relations mutate the clone, never the world's
+// own collection.
+func CloneCollection(col *blocklist.Collection) (*blocklist.Collection, error) {
+	perm := make([]int, col.Registry().Len())
+	for i := range perm {
+		perm[i] = i
+	}
+	out := blocklist.NewCollection(col.Registry(), col.Days())
+	if err := copyPresence(col, out, perm); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func copyPresence(src, dst *blocklist.Collection, perm []int) error {
+	nDays := len(src.Days())
+	for fi := 0; fi < src.Registry().Len(); fi++ {
+		addrs := src.FeedAddrs(fi).Sorted()
+		for d := 0; d < nDays; d++ {
+			day := iputil.NewSet()
+			for _, a := range addrs {
+				if src.Present(fi, d, a) {
+					day.Add(a)
+				}
+			}
+			if day.Len() == 0 {
+				continue
+			}
+			if err := dst.Record(d, perm[fi], day); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPerListPermutation bundles the full Fig 5/6 permutation relation:
+// per-feed series commute with the permutation and every feed-agnostic
+// aggregate is untouched.
+func CheckPerListPermutation(base, permuted *analysis.PerListReuse, perm []int) error {
+	const rel = "feed-permutation"
+	checks := []error{
+		CheckPermutedCounts(rel, base.NATedPerFeed, permuted.NATedPerFeed, perm),
+		CheckPermutedCounts(rel, base.DynamicPerFeed, permuted.DynamicPerFeed, perm),
+		CheckPermutedCounts(rel, base.CaiDynamicPerFeed, permuted.CaiDynamicPerFeed, perm),
+		CheckScalarEqual(rel, "feeds without NATed", base.FeedsWithoutNATed, permuted.FeedsWithoutNATed),
+		CheckScalarEqual(rel, "feeds without dynamic", base.FeedsWithoutDynamic, permuted.FeedsWithoutDynamic),
+		CheckScalarEqual(rel, "NATed listings", base.NATedListings, permuted.NATedListings),
+		CheckScalarEqual(rel, "dynamic listings", base.DynamicListings, permuted.DynamicListings),
+		CheckScalarEqual(rel, "Cai dynamic listings", base.CaiDynamicListings, permuted.CaiDynamicListings),
+		CheckScalarEqual(rel, "NATed addresses", base.NATedAddrs, permuted.NATedAddrs),
+		CheckScalarEqual(rel, "dynamic addresses", base.DynamicAddrs, permuted.DynamicAddrs),
+		CheckFloatEqual(rel, "top-10 NATed share", base.Top10NATedShare, permuted.Top10NATedShare, 1e-12),
+		CheckFloatEqual(rel, "top-10 dynamic share", base.Top10DynamicShare, permuted.Top10DynamicShare, 1e-12),
+		CheckFloatEqual(rel, "mean NATed per feed", base.MeanNATedPerFeed, permuted.MeanNATedPerFeed, 1e-12),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckPerListMonotone bundles the monotonicity relation after one extra
+// listing: every per-feed count and listing total may only grow, and the
+// zero-feed counts may only shrink.
+func CheckPerListMonotone(before, after *analysis.PerListReuse) error {
+	const rel = "listing-monotonicity"
+	checks := []error{
+		CheckMonotoneCounts(rel, before.NATedPerFeed, after.NATedPerFeed),
+		CheckMonotoneCounts(rel, before.DynamicPerFeed, after.DynamicPerFeed),
+		CheckMonotoneScalar(rel, "NATed listings", before.NATedListings, after.NATedListings),
+		CheckMonotoneScalar(rel, "dynamic listings", before.DynamicListings, after.DynamicListings),
+		CheckMonotoneScalar(rel, "NATed addresses", before.NATedAddrs, after.NATedAddrs),
+		CheckMonotoneScalar(rel, "dynamic addresses", before.DynamicAddrs, after.DynamicAddrs),
+		// Adding listings can only take feeds off the "lists nothing
+		// reused" tally.
+		CheckMonotoneScalar(rel, "feeds without NATed (flipped)",
+			-before.FeedsWithoutNATed, -after.FeedsWithoutNATed),
+		CheckMonotoneScalar(rel, "feeds without dynamic (flipped)",
+			-before.FeedsWithoutDynamic, -after.FeedsWithoutDynamic),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package testkit
+
+import (
+	"strings"
+
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/faults"
+)
+
+// StudyRun is one completed end-to-end study plus its rendered report.
+type StudyRun struct {
+	Spec     WorldSpec
+	Study    *core.Study
+	Report   *core.Report
+	Rendered string
+}
+
+// RunStudy executes the spec's study end to end with the given worker count
+// and optional fault scenario. The world is regenerated on every call —
+// each run is an independent realization of the same spec, which is exactly
+// what the determinism relations need.
+func RunStudy(spec WorldSpec, workers int, scenario *faults.Scenario) (*StudyRun, error) {
+	s := core.NewStudy(spec.StudyConfig(workers, scenario))
+	rep, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &StudyRun{Spec: spec, Study: s, Report: rep, Rendered: rep.Render()}, nil
+}
+
+// IsDegenerateWorld reports whether a study error means the generated world
+// cannot host the crawl at all (no publicly reachable swarm) — a property
+// sweep skips such worlds instead of failing, but counts them so a
+// generator regression that produces mostly-degenerate worlds still trips
+// the suite.
+func IsDegenerateWorld(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no publicly reachable users")
+}

@@ -1,0 +1,68 @@
+// Package testkit is the property-based and metamorphic verification layer
+// for the reproduction pipeline. The goldens pin exact output for seed 1;
+// this package checks that the detectors stay *correct* across the space of
+// worlds the simulator can produce, exploiting the one advantage a synthetic
+// study has over the paper's measurements: perfect ground truth.
+//
+// It has three layers:
+//
+//   - Generators (gen.go): WorldSpec draws randomized world and study shapes
+//     — CGN sizes, churn rates, blocklist mixes, probe fleets — from a seed,
+//     with hand-rolled shrinking toward the calibrated defaults so a failing
+//     property reports the tamest world that still fails.
+//
+//   - Oracles (oracle.go): checks against blgen ground truth that must hold
+//     for every world — the crawler's NAT user count is a lower bound on the
+//     true users behind a real gateway, the RIPE pipeline only flags truly
+//     dynamic pools, listing durations respect the measurement windows
+//     (≤ 39 / ≤ 44 days), precision/recall stay inside pinned bands, and the
+//     kneedle threshold is stable under resampling.
+//
+//   - Metamorphic relations (relations.go): comparisons between pipeline
+//     runs that must agree — seed determinism, worker-count invariance,
+//     feed-order permutation invariance, monotonicity under added listings
+//     or added NAT users, and fault-scenario tolerance bands.
+//
+// The relation checkers return *Violation errors rather than calling
+// t.Fatal so their failure detection is itself testable: testkit_test.go
+// feeds each checker a deliberately broken input and asserts it objects
+// (the mutation sanity check DESIGN.md §8 documents).
+package testkit
+
+import "fmt"
+
+// Violation reports one broken invariant: which relation or oracle failed
+// and a human-readable account of the disagreement.
+type Violation struct {
+	// Relation names the invariant, e.g. "worker-invariance" or
+	// "nat-lower-bound".
+	Relation string
+	// Detail locates the disagreement.
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("testkit: %s violated: %s", v.Relation, v.Detail)
+}
+
+func violatef(relation, format string, args ...any) error {
+	return &Violation{Relation: relation, Detail: fmt.Sprintf(format, args...)}
+}
+
+// firstDiff locates the first differing line/column of two strings for a
+// readable report when byte-equality relations fail.
+func firstDiff(a, b string) string {
+	line, col := 1, 1
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("line %d col %d (%q vs %q)", line, col, a[i], b[i])
+		}
+		if a[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}

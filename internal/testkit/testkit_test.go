@@ -1,0 +1,424 @@
+package testkit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/analysis"
+	"github.com/reuseblock/reuseblock/internal/blgen"
+	"github.com/reuseblock/reuseblock/internal/core"
+	"github.com/reuseblock/reuseblock/internal/crawler"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/ripeatlas"
+)
+
+// wantViolation asserts a checker objected, with the expected relation name.
+func wantViolation(t *testing.T, err error, relation string) {
+	t.Helper()
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("checker accepted broken input (err = %v), want %s violation", err, relation)
+	}
+	if v.Relation != relation {
+		t.Fatalf("violation relation = %q, want %q (detail: %s)", v.Relation, relation, v.Detail)
+	}
+}
+
+func wantOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("checker rejected valid input: %v", err)
+	}
+}
+
+func TestGenWorldSpecDeterministicAndInRange(t *testing.T) {
+	if GenWorldSpec(7) != GenWorldSpec(7) {
+		t.Fatal("GenWorldSpec is not deterministic in its seed")
+	}
+	distinct := map[WorldSpec]bool{}
+	for seed := int64(0); seed < 100; seed++ {
+		s := GenWorldSpec(seed)
+		distinct[s] = true
+		if s.Scale < 0.04 || s.Scale > 0.08 {
+			t.Fatalf("seed %d: Scale %.3f out of range", seed, s.Scale)
+		}
+		if s.CGNFrac < 0.06 || s.CGNFrac > 0.22 || s.DynamicFrac < 0.15 || s.DynamicFrac > 0.40 {
+			t.Fatalf("seed %d: space fractions out of range: %s", seed, s)
+		}
+		if s.Vantages < 1 || s.Vantages > 2 || s.CrawlHours < 2 || s.CrawlHours > 5 {
+			t.Fatalf("seed %d: study shape out of range: %s", seed, s)
+		}
+		p := s.Params()
+		if sum := p.CGNFrac + p.DynamicFrac + p.StaticFrac; sum > 1 {
+			t.Fatalf("seed %d: space fractions sum to %.3f > 1", seed, sum)
+		}
+	}
+	if len(distinct) < 90 {
+		t.Fatalf("only %d distinct specs from 100 seeds", len(distinct))
+	}
+}
+
+func TestStudyConfigChurnEncoding(t *testing.T) {
+	s := DefaultSpec(1)
+	s.RestartsPerDay = 0
+	if got := s.StudyConfig(1, nil).RestartsPerDay; got >= 0 {
+		t.Fatalf("zero churn must map to negative (disabled), got %v", got)
+	}
+	s.RestartsPerDay = 0.4
+	if got := s.StudyConfig(1, nil).RestartsPerDay; got != 0.4 {
+		t.Fatalf("churn 0.4 mapped to %v", got)
+	}
+}
+
+func TestShrinkFindsTamerFailure(t *testing.T) {
+	spec := GenWorldSpec(11)
+	spec.Scale = 0.08
+	spec.CrawlHours = 5
+	// Property that fails whenever the world is above test scale: the
+	// shrinker should walk Scale down toward 0.05 while resetting every
+	// field the failure does not depend on.
+	fails := func(s WorldSpec) bool { return s.Scale > 0.055 }
+	got := Shrink(spec, fails, 200)
+	if !fails(got) {
+		t.Fatalf("shrink returned a passing spec: %s", got)
+	}
+	if got.Scale >= spec.Scale {
+		t.Fatalf("shrink did not reduce Scale: %.3f -> %.3f", spec.Scale, got.Scale)
+	}
+	tame := DefaultSpec(spec.Seed)
+	if got.CrawlHours != tame.CrawlHours || got.Vantages != tame.Vantages {
+		t.Fatalf("shrink left irrelevant fields wild: %s", got)
+	}
+}
+
+func TestShrinkTerminatesOnUnshrinkable(t *testing.T) {
+	spec := GenWorldSpec(12)
+	got := Shrink(spec, func(WorldSpec) bool { return true }, 500)
+	// Everything-fails shrinks all the way to the tame default.
+	if got != DefaultSpec(spec.Seed) {
+		t.Fatalf("always-failing property should shrink to the default spec, got %s", got)
+	}
+	// A never-failing predicate keeps the original (no move survives).
+	if got := Shrink(spec, func(WorldSpec) bool { return false }, 500); got != spec {
+		t.Fatalf("never-failing property must keep the original spec, got %s", got)
+	}
+}
+
+func TestCheckIdenticalRendersMutation(t *testing.T) {
+	wantOK(t, CheckIdenticalRenders("seed-determinism", "a\nbc", "a\nbc"))
+	wantViolation(t, CheckIdenticalRenders("seed-determinism", "a\nbc", "a\nbd"), "seed-determinism")
+}
+
+func TestCheckMonotoneCountsMutation(t *testing.T) {
+	wantOK(t, CheckMonotoneCounts("m", []int{1, 2, 3}, []int{1, 3, 3}))
+	wantViolation(t, CheckMonotoneCounts("m", []int{1, 2, 3}, []int{1, 1, 3}), "m")
+	wantViolation(t, CheckMonotoneCounts("m", []int{1, 2}, []int{1, 2, 3}), "m")
+}
+
+func TestCheckScalarRelationsMutation(t *testing.T) {
+	wantOK(t, CheckMonotoneScalar("m", "x", 2, 2))
+	wantViolation(t, CheckMonotoneScalar("m", "x", 2, 1), "m")
+	wantOK(t, CheckScalarEqual("p", "x", 4, 4))
+	wantViolation(t, CheckScalarEqual("p", "x", 4, 5), "p")
+	wantOK(t, CheckFloatEqual("p", "x", 0.5, 0.5+1e-13, 1e-12))
+	wantViolation(t, CheckFloatEqual("p", "x", 0.5, 0.6, 1e-12), "p")
+}
+
+func TestCheckPermutedCountsMutation(t *testing.T) {
+	perm := []int{2, 0, 1}
+	base := []int{10, 20, 30}
+	wantOK(t, CheckPermutedCounts("fp", base, []int{20, 30, 10}, perm))
+	wantViolation(t, CheckPermutedCounts("fp", base, []int{20, 10, 30}, perm), "fp")
+}
+
+func TestCheckToleranceBandMutation(t *testing.T) {
+	wantOK(t, CheckToleranceBand("tb", 0.80, 0.75, 0.10))
+	wantOK(t, CheckToleranceBand("tb", 0.80, 0.95, 0.10)) // improvement is in band
+	wantViolation(t, CheckToleranceBand("tb", 0.80, 0.60, 0.10), "tb")
+}
+
+func perListFixture() *analysis.PerListReuse {
+	return &analysis.PerListReuse{
+		NATedPerFeed:        []int{3, 0, 5},
+		DynamicPerFeed:      []int{1, 2, 0},
+		CaiDynamicPerFeed:   []int{0, 1, 1},
+		FeedsWithoutNATed:   1,
+		FeedsWithoutDynamic: 1,
+		NATedListings:       8,
+		DynamicListings:     3,
+		CaiDynamicListings:  2,
+		NATedAddrs:          6,
+		DynamicAddrs:        3,
+		MeanNATedPerFeed:    8.0 / 3,
+		Top10NATedShare:     1,
+		Top10DynamicShare:   1,
+	}
+}
+
+func permuteFixture(base *analysis.PerListReuse, perm []int) *analysis.PerListReuse {
+	p := *base
+	p.NATedPerFeed = make([]int, len(perm))
+	p.DynamicPerFeed = make([]int, len(perm))
+	p.CaiDynamicPerFeed = make([]int, len(perm))
+	for i, to := range perm {
+		p.NATedPerFeed[to] = base.NATedPerFeed[i]
+		p.DynamicPerFeed[to] = base.DynamicPerFeed[i]
+		p.CaiDynamicPerFeed[to] = base.CaiDynamicPerFeed[i]
+	}
+	return &p
+}
+
+func TestCheckPerListPermutationMutation(t *testing.T) {
+	base := perListFixture()
+	perm := []int{1, 2, 0}
+	good := permuteFixture(base, perm)
+	wantOK(t, CheckPerListPermutation(base, good, perm))
+
+	broken := permuteFixture(base, perm)
+	broken.NATedPerFeed[0], broken.NATedPerFeed[1] = broken.NATedPerFeed[1], broken.NATedPerFeed[0]
+	wantViolation(t, CheckPerListPermutation(base, broken, perm), "feed-permutation")
+
+	broken = permuteFixture(base, perm)
+	broken.NATedListings++
+	wantViolation(t, CheckPerListPermutation(base, broken, perm), "feed-permutation")
+
+	broken = permuteFixture(base, perm)
+	broken.Top10DynamicShare += 0.01
+	wantViolation(t, CheckPerListPermutation(base, broken, perm), "feed-permutation")
+}
+
+func TestCheckPerListMonotoneMutation(t *testing.T) {
+	before := perListFixture()
+	after := perListFixture()
+	after.NATedPerFeed[1]++ // the new listing is NATed on feed 1
+	after.NATedListings++
+	after.NATedAddrs++
+	after.FeedsWithoutNATed--
+	wantOK(t, CheckPerListMonotone(before, after))
+
+	broken := perListFixture()
+	broken.DynamicPerFeed[1]--
+	wantViolation(t, CheckPerListMonotone(before, broken), "listing-monotonicity")
+
+	broken = perListFixture()
+	broken.FeedsWithoutDynamic++ // a feed cannot *gain* emptiness
+	wantViolation(t, CheckPerListMonotone(before, broken), "listing-monotonicity")
+}
+
+// testWorld generates one tiny real world, shared across oracle tests.
+var testWorld = blgen.Generate(blgen.TestParams(1))
+
+func TestOracleNATObservationsMutation(t *testing.T) {
+	o := Oracle{World: testWorld}
+	var gw *blgen.NATTruth
+	for _, n := range testWorld.NATs {
+		if n.BTUsers >= 2 {
+			gw = n
+			break
+		}
+	}
+	if gw == nil {
+		t.Fatal("test world has no detectable gateway")
+	}
+	good := []crawler.NATObservation{{Addr: gw.Addr, Users: 2}}
+	wantOK(t, o.CheckNATObservations(good))
+
+	// Mutant 1: claim an address that is not a gateway.
+	notGateway := iputil.MustParseAddr("203.0.113.7")
+	if _, ok := testWorld.NATByIP[notGateway]; ok {
+		t.Fatal("fixture address is unexpectedly a gateway")
+	}
+	wantViolation(t, o.CheckNATObservations([]crawler.NATObservation{{Addr: notGateway, Users: 2}}), "nat-lower-bound")
+
+	// Mutant 2: claim more users than the ground truth holds.
+	wantViolation(t, o.CheckNATObservations([]crawler.NATObservation{{Addr: gw.Addr, Users: gw.BTUsers + 1}}), "nat-lower-bound")
+
+	// Mutant 3: a "confirmed" gateway below the two-user confirmation rule.
+	wantViolation(t, o.CheckNATObservations([]crawler.NATObservation{{Addr: gw.Addr, Users: 1}}), "nat-lower-bound")
+}
+
+func TestOracleDynamicDetectionMutation(t *testing.T) {
+	o := Oracle{World: testWorld}
+	res := ripeatlas.Detect(testWorld.RIPELogs, ripeatlas.DetectOptions{})
+	wantOK(t, o.CheckDynamicDetection(res))
+
+	// Mutant 1: break the funnel partition.
+	broken := *res
+	broken.NoChangeProbes++
+	wantViolation(t, o.CheckDynamicDetection(&broken), "ripe-funnel")
+
+	// Mutant 2: break stage monotonicity.
+	broken = *res
+	broken.DailyProbes = broken.FrequentProbes + 1
+	wantViolation(t, o.CheckDynamicDetection(&broken), "ripe-funnel")
+
+	// Mutant 3: flag a /24 no probe ever lived in.
+	broken = *res
+	outside := iputil.MustParsePrefix("198.51.100.0/24")
+	if broken.RIPEPrefixes.Covers(outside.Base()) {
+		t.Fatal("fixture prefix is unexpectedly covered")
+	}
+	dyn := iputil.NewPrefixSet()
+	for _, p := range res.DynamicPrefixes.Sorted() {
+		dyn.Add(p)
+	}
+	dyn.Add(outside)
+	broken.DynamicPrefixes = dyn
+	wantViolation(t, o.CheckDynamicDetection(&broken), "ripe-coverage")
+}
+
+func TestOracleDurationsMutation(t *testing.T) {
+	o := Oracle{World: testWorld}
+	windows := testWorld.Collection.Windows()
+	good := &analysis.Durations{
+		MaxReusedDays:      3,
+		MaxReusedPerWindow: make([]int, len(windows)),
+		AllTwoDay:          0.4, NATedTwoDay: 0.6, DynamicTwoDay: 0.7,
+	}
+	for w, span := range windows {
+		good.MaxReusedPerWindow[w] = span[1] - span[0] + 1 // exactly at the bound
+	}
+	wantOK(t, o.CheckDurations(good))
+
+	broken := *good
+	broken.MaxReusedPerWindow = append([]int(nil), good.MaxReusedPerWindow...)
+	broken.MaxReusedPerWindow[0]++ // one day longer than its window
+	wantViolation(t, o.CheckDurations(&broken), "duration-windows")
+
+	broken = *good
+	broken.NATedTwoDay = 1.2
+	wantViolation(t, o.CheckDurations(&broken), "duration-windows")
+}
+
+func TestCheckScoresMutation(t *testing.T) {
+	o := Oracle{World: testWorld}
+	good := &core.Report{}
+	good.NATScore = analysis.PrecisionRecall{TruePositives: 20, FalsePositives: 0, Precision: 1}
+	wantOK(t, o.CheckScores(good))
+
+	broken := &core.Report{}
+	broken.NATScore = analysis.PrecisionRecall{TruePositives: 10, FalsePositives: 10, Precision: 0.5}
+	wantViolation(t, o.CheckScores(broken), "score-bands")
+}
+
+func TestSweepEnsembleMutation(t *testing.T) {
+	healthy := &SweepStats{Worlds: 20}
+	for i := 0; i < 20; i++ {
+		healthy.Recalls = append(healthy.Recalls, 0.3)
+	}
+	wantOK(t, healthy.CheckEnsemble())
+
+	// Below the minimum sample the bands are skipped, not enforced.
+	tiny := &SweepStats{Worlds: 3, Recalls: []float64{0, 0, 0}}
+	wantOK(t, tiny.CheckEnsemble())
+
+	// Mutant 1: most worlds detect nothing.
+	deaf := &SweepStats{Worlds: 20}
+	for i := 0; i < 20; i++ {
+		deaf.Recalls = append(deaf.Recalls, 0)
+	}
+	wantViolation(t, deaf.CheckEnsemble(), "sweep-ensemble")
+
+	// Mutant 2: worlds clear the floor but the median collapsed.
+	weak := &SweepStats{Worlds: 20}
+	for i := 0; i < 20; i++ {
+		weak.Recalls = append(weak.Recalls, 0.06)
+	}
+	wantViolation(t, weak.CheckEnsemble(), "sweep-ensemble")
+
+	// Mutant 3: the generator mostly emits degenerate worlds.
+	degen := &SweepStats{Worlds: 4, Degenerate: 10}
+	wantViolation(t, degen.CheckEnsemble(), "sweep-ensemble")
+}
+
+func TestCheckKneeStability(t *testing.T) {
+	// A sharp concave-decreasing count profile with an unambiguous knee.
+	counts := []int{400, 380, 360, 340, 320, 8, 6, 5, 4, 3, 2, 1}
+	if err := CheckKneeStability(counts, 3); err != nil {
+		t.Fatalf("stable profile flagged: %v", err)
+	}
+	// Degenerate inputs short-circuit.
+	if err := CheckKneeStability([]int{1, 2}, 3); err != nil {
+		t.Fatalf("short input must be skipped: %v", err)
+	}
+}
+
+func TestCheckKneeAgreementMutation(t *testing.T) {
+	wantOK(t, CheckKneeAgreement(5, 5, true, true, 3))
+	wantOK(t, CheckKneeAgreement(5, 9, true, false, 3)) // existence flip tolerated
+	wantOK(t, CheckKneeAgreement(2, 1, true, true, 3))  // one-allocation plateau shift tolerated
+	wantViolation(t, CheckKneeAgreement(5, 9, true, true, 3), "knee-stability")
+	wantViolation(t, CheckKneeAgreement(9, 5, true, true, 3), "knee-stability")
+}
+
+func TestPermuteAndCloneCollection(t *testing.T) {
+	col := testWorld.Collection
+	n := col.Registry().Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 3) % n // a fixed-point-free rotation
+	}
+	permuted, err := PermuteCollection(col, perm)
+	if err != nil {
+		t.Fatalf("PermuteCollection: %v", err)
+	}
+	if got, want := len(permuted.Listings()), len(col.Listings()); got != want {
+		t.Fatalf("permutation changed total listings: %d != %d", got, want)
+	}
+	for fi := 0; fi < n; fi++ {
+		a := col.FeedAddrs(fi).Sorted()
+		b := permuted.FeedAddrs(perm[fi]).Sorted()
+		if len(a) != len(b) {
+			t.Fatalf("feed %d -> %d: %d addrs became %d", fi, perm[fi], len(a), len(b))
+		}
+	}
+
+	clone, err := CloneCollection(col)
+	if err != nil {
+		t.Fatalf("CloneCollection: %v", err)
+	}
+	if got, want := len(clone.Listings()), len(col.Listings()); got != want {
+		t.Fatalf("clone changed total listings: %d != %d", got, want)
+	}
+	// The clone must reproduce per-listing spans exactly, not just totals.
+	type key struct {
+		fi   int
+		addr iputil.Addr
+	}
+	days := map[key]int{}
+	for _, l := range col.Listings() {
+		days[key{l.FeedIndex, l.Addr}] += l.Days
+	}
+	for _, l := range clone.Listings() {
+		k := key{l.FeedIndex, l.Addr}
+		if days[k] < l.Days {
+			t.Fatalf("clone listing %v has %d days, original total %d", k, l.Days, days[k])
+		}
+	}
+}
+
+func TestMutateBytes(t *testing.T) {
+	input := []byte("d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe")
+	a := MutateBytes(42, input, 50)
+	b := MutateBytes(42, input, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("wrong mutant count: %d, %d", len(a), len(b))
+	}
+	changed := 0
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("mutant %d not deterministic", i)
+		}
+		if !bytes.Equal(a[i], input) {
+			changed++
+		}
+	}
+	if changed < 45 {
+		t.Fatalf("only %d/50 mutants differ from the input", changed)
+	}
+	// Empty input grows rather than panicking.
+	if got := MutateBytes(7, nil, 5); len(got) != 5 {
+		t.Fatalf("empty-input mutants: %d", len(got))
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Coverage ratchet: fail if total -short statement coverage drops below the
+# committed floor in scripts/coverage_floor.txt. The floor only moves up —
+# when real coverage has grown comfortably past it, raise the floor in the
+# same change that grew it.
+set -eu
+cd "$(dirname "$0")/.."
+floor=$(cat scripts/coverage_floor.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -short -count=1 -coverprofile="$profile" ./... > /dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub("%","",$3); print $3}')
+awk -v t="$total" -v f="$floor" 'BEGIN {
+  if (t + 0 < f + 0) {
+    printf "FAIL: total coverage %.1f%% fell below the committed floor %.1f%%\n", t, f
+    exit 1
+  }
+  printf "coverage %.1f%% (floor %.1f%%)\n", t, f
+  if (t - f >= 2.0)
+    printf "note: coverage has grown; consider raising scripts/coverage_floor.txt to %.1f\n", t - 0.5
+}'
