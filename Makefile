@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test ci bench bench-obs report fuzz clean verify-props coverage
+.PHONY: all build vet test ci bench bench-obs bench-serve report fuzz clean verify-props coverage
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench:
 # with instrumentation off vs on, recorded to BENCH_obs.json.
 bench-obs:
 	$(GO) test -bench=BenchmarkStudyObs -benchmem -run='^$$' .
+
+# Serving-layer benchmarks: the compiled-snapshot reuseapi server against a
+# locked-map replica of the old design on /v1/check and /v1/list, plus batch
+# throughput, recorded to BENCH_serve.json.
+bench-serve:
+	$(GO) test -bench=BenchmarkServe -benchmem -run='^$$' .
 
 # Full default-scale study: every table and figure on stdout.
 report:

@@ -5,23 +5,34 @@
 //
 // Usage:
 //
-//	blserve -nated FILE -dynamic FILE [-addr :8080]
+//	blserve -nated FILE -dynamic FILE [-addr :8080] [-watch]
 //	blserve -generate [-seed N] [-scale F] [-addr :8080] [-pprof]
 //
-// Endpoints: /v1/check?ip=A.B.C.D, /v1/list, /v1/prefixes, /v1/stats, plus
-// observability: /metrics (Prometheus text; with -generate it carries the
-// study's deterministic counters alongside live request counts),
-// /debug/manifest (the run manifest JSON), and — behind -pprof —
-// /debug/pprof/.
+// Endpoints: /v1/check?ip=A.B.C.D (GET) and batch POST /v1/check, /v1/list,
+// /v1/prefixes, /v1/stats, plus observability: /metrics (Prometheus text;
+// with -generate it carries the study's deterministic counters alongside
+// live request counts and per-endpoint latency histograms), /debug/manifest
+// (the run manifest JSON, including live serving/reload status), and —
+// behind -pprof — /debug/pprof/.
+//
+// The server is hardened for real traffic: read/write/idle timeouts bound
+// slow clients, -watch polls the input files and atomically swaps in a
+// freshly compiled dataset when they change, and SIGINT/SIGTERM drain
+// in-flight requests for up to -shutdown-grace before exiting.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/blgen"
@@ -36,19 +47,35 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// serveOptions carries the parsed flags into dataset construction.
+// serveOptions carries the parsed flags into dataset construction and server
+// hardening.
 type serveOptions struct {
 	natedF, dynF string
 	generate     bool
 	seed         int64
 	scale        float64
+
+	watch         bool
+	watchInterval time.Duration
+
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	idleTimeout   time.Duration
+	shutdownGrace time.Duration
 }
 
-// run is main with its exit code and streams surfaced so tests can drive the
-// command in-process: 0 on success (including -h), 2 on flag errors, 1 on
-// runtime failures. The blocking ListenAndServe stays here; tests cover the
-// flag handling through run and the dataset paths through buildDataset.
+// run is main with signal handling attached: SIGINT/SIGTERM trigger the
+// graceful drain in runCtx.
 func run(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, stdout, stderr)
+}
+
+// runCtx is run with the lifetime surfaced so tests can drive the server
+// in-process and shut it down deterministically: 0 on success (including -h
+// and a clean shutdown), 2 on flag errors, 1 on runtime failures.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("blserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -59,6 +86,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale    = fs.Float64("scale", 0.25, "world scale for -generate")
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
 		pprofOn  = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+
+		watch         = fs.Bool("watch", false, "poll the -nated/-dynamic files and hot-reload the dataset on change")
+		watchInterval = fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+
+		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "per-connection read (and header) timeout")
+		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "per-response write timeout")
+		idleTimeout   = fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
+		shutdownGrace = fs.Duration("shutdown-grace", 5*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -67,7 +102,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := serveOptions{natedF: *natedF, dynF: *dynF, generate: *generate, seed: *seed, scale: *scale}
+	opts := serveOptions{
+		natedF: *natedF, dynF: *dynF, generate: *generate, seed: *seed, scale: *scale,
+		watch: *watch, watchInterval: *watchInterval,
+		readTimeout: *readTimeout, writeTimeout: *writeTimeout,
+		idleTimeout: *idleTimeout, shutdownGrace: *shutdownGrace,
+	}
+	if opts.watch && (opts.generate || (opts.natedF == "" && opts.dynF == "")) {
+		fmt.Fprintln(stderr, "blserve: -watch needs -nated/-dynamic files to poll")
+		return 1
+	}
 	data, reg, manifest, err := buildDataset(opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "blserve:", err)
@@ -77,21 +121,181 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv := reuseapi.NewServer(data)
 	srv.Obs = reg
 	srv.EnablePprof = *pprofOn
-	// Serve the manifest with a live metric snapshot so request counters
-	// accumulated since startup are visible too.
+
+	rel := newReloader(opts, srv, reg, data.Generated)
+	// Serve the manifest with a live metric snapshot and the reload status
+	// so request counters and dataset swaps since startup are visible too.
 	srv.Manifest = func() *obs.Manifest {
 		m := *manifest
 		m.Metrics = reg.Snapshot(true)
+		m.Serving = rel.status()
 		return &m
 	}
-	fmt.Fprintf(stdout, "serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
-		len(data.NATUsers), data.DynamicPrefixes.Len(), *addr)
-	fmt.Fprintf(stdout, "try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", *addr, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(stderr, "blserve:", err)
 		return 1
 	}
+	fmt.Fprintf(stdout, "serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
+		len(data.NATUsers), data.DynamicPrefixes.Len(), ln.Addr())
+	fmt.Fprintf(stdout, "try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", ln.Addr(), ln.Addr())
+
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	if opts.watch {
+		go rel.watch(watchCtx)
+	}
+
+	httpSrv := newHTTPServer(srv.Handler(), opts)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "blserve:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), opts.shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(drain); err != nil {
+			// Stragglers past the grace window get cut off.
+			_ = httpSrv.Close()
+		}
+		fmt.Fprintln(stdout, "blserve: shutdown complete")
+	}
 	return 0
+}
+
+// newHTTPServer wraps the handler in an http.Server hardened against slow
+// clients: a connection that dribbles its headers, stalls mid-body, or sits
+// idle past the keep-alive window is closed instead of holding a goroutine
+// and file descriptor forever.
+func newHTTPServer(h http.Handler, opts serveOptions) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadTimeout:       opts.readTimeout,
+		ReadHeaderTimeout: opts.readTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+}
+
+// reloader polls the input files and swaps a freshly compiled dataset into
+// the server when they change — the hot-reload path behind -watch.
+type reloader struct {
+	opts    serveOptions
+	srv     *reuseapi.Server
+	reloads *obs.Counter
+
+	mu     sync.Mutex
+	st     obs.ServingStatus
+	mtimes map[string]fileStamp
+}
+
+// fileStamp is the change signature of one watched file.
+type fileStamp struct {
+	mtime time.Time
+	size  int64
+}
+
+func newReloader(opts serveOptions, srv *reuseapi.Server, reg *obs.Registry, generated time.Time) *reloader {
+	r := &reloader{
+		opts:    opts,
+		srv:     srv,
+		reloads: reg.Counter(obs.WallPrefix + "dataset_reloads_total"),
+		mtimes:  map[string]fileStamp{},
+	}
+	r.st.Watching = opts.watch
+	r.st.DatasetGenerated = generated
+	// Record the startup stamps so the first poll doesn't spuriously reload.
+	for _, f := range r.watchedFiles() {
+		if fi, err := os.Stat(f); err == nil {
+			r.mtimes[f] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+		}
+	}
+	return r
+}
+
+func (r *reloader) watchedFiles() []string {
+	var out []string
+	if r.opts.natedF != "" {
+		out = append(out, r.opts.natedF)
+	}
+	if r.opts.dynF != "" {
+		out = append(out, r.opts.dynF)
+	}
+	return out
+}
+
+// watch polls until ctx is cancelled.
+func (r *reloader) watch(ctx context.Context) {
+	ticker := time.NewTicker(r.opts.watchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.checkOnce()
+		}
+	}
+}
+
+// checkOnce stats the watched files and reloads when any changed. A failed
+// reload (file mid-rewrite, malformed content) keeps the old dataset serving
+// and surfaces the error in the manifest; the next tick retries.
+func (r *reloader) checkOnce() {
+	changed := false
+	stamps := map[string]fileStamp{}
+	for _, f := range r.watchedFiles() {
+		fi, err := os.Stat(f)
+		if err != nil {
+			r.setError(fmt.Errorf("stat %s: %w", f, err))
+			return
+		}
+		stamp := fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+		stamps[f] = stamp
+		r.mu.Lock()
+		if r.mtimes[f] != stamp {
+			changed = true
+		}
+		r.mu.Unlock()
+	}
+	if !changed {
+		return
+	}
+	data, err := loadFiles(r.opts)
+	if err != nil {
+		r.setError(err)
+		return
+	}
+	r.srv.Update(data)
+	r.reloads.Inc()
+	r.mu.Lock()
+	for f, s := range stamps {
+		r.mtimes[f] = s
+	}
+	r.st.Reloads++
+	r.st.LastReload = time.Now().UTC()
+	r.st.LastError = ""
+	r.st.DatasetGenerated = data.Generated
+	r.mu.Unlock()
+}
+
+func (r *reloader) setError(err error) {
+	r.mu.Lock()
+	r.st.LastError = err.Error()
+	r.mu.Unlock()
+}
+
+// status returns a copy for the manifest.
+func (r *reloader) status() *obs.ServingStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.st
+	return &st
 }
 
 // buildDataset assembles the dataset to serve, either from on-disk lists or
@@ -99,11 +303,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Manifest, error) {
 	reg := obs.NewRegistry()
 	manifest := obs.NewManifest()
-	data := &reuseapi.Dataset{
-		NATUsers:        map[iputil.Addr]int{},
-		DynamicPrefixes: iputil.NewPrefixSet(),
-		Generated:       time.Now().UTC(),
-	}
 	switch {
 	case opts.generate:
 		wp := blgen.DefaultParams(opts.seed)
@@ -112,36 +311,55 @@ func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Man
 		if _, err := study.Run(); err != nil {
 			return nil, nil, nil, err
 		}
+		data := &reuseapi.Dataset{
+			NATUsers:        map[iputil.Addr]int{},
+			DynamicPrefixes: study.RIPE.DynamicPrefixes,
+			Generated:       time.Now().UTC(),
+		}
 		for _, o := range study.NATed {
 			data.NATUsers[o.Addr] = o.Users
 		}
-		data.DynamicPrefixes = study.RIPE.DynamicPrefixes
-		manifest = study.Manifest()
+		return data, reg, study.Manifest(), nil
 	case opts.natedF != "" || opts.dynF != "":
-		if opts.natedF != "" {
-			f, err := os.Open(opts.natedF)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			data.NATUsers, err = blocklist.ParseNATedList(f)
-			f.Close()
-			if err != nil {
-				return nil, nil, nil, err
-			}
+		data, err := loadFiles(opts)
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		if opts.dynF != "" {
-			f, err := os.Open(opts.dynF)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
-			f.Close()
-			if err != nil {
-				return nil, nil, nil, err
-			}
-		}
+		return data, reg, manifest, nil
 	default:
 		return nil, nil, nil, errors.New("provide -nated/-dynamic files or -generate")
 	}
-	return data, reg, manifest, nil
+}
+
+// loadFiles reads the on-disk lists into a dataset — the path shared by
+// startup and every -watch reload.
+func loadFiles(opts serveOptions) (*reuseapi.Dataset, error) {
+	data := &reuseapi.Dataset{
+		NATUsers:        map[iputil.Addr]int{},
+		DynamicPrefixes: iputil.NewPrefixSet(),
+		Generated:       time.Now().UTC(),
+	}
+	if opts.natedF != "" {
+		f, err := os.Open(opts.natedF)
+		if err != nil {
+			return nil, err
+		}
+		data.NATUsers, err = blocklist.ParseNATedList(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.dynF != "" {
+		f, err := os.Open(opts.dynF)
+		if err != nil {
+			return nil, err
+		}
+		data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
 }

@@ -2,12 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/reuseapi"
 )
 
@@ -77,5 +87,280 @@ func TestBuildDatasetMissingFile(t *testing.T) {
 	_, _, _, err := buildDataset(serveOptions{natedF: filepath.Join(t.TempDir(), "nope.txt")})
 	if err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+func TestWatchNeedsFiles(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-watch", "-generate"}, &out, &errb); code != 1 {
+		t.Fatalf("-watch -generate exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "-watch needs -nated/-dynamic") {
+		t.Fatalf("error not reported:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-watch"}, &out, &errb); code != 1 {
+		t.Fatalf("bare -watch exited %d, want 1", code)
+	}
+}
+
+// TestSlowHeaderConnectionClosed is the regression test for the bare
+// ListenAndServe bug: a client that opens a connection and never finishes
+// its request header used to hold the connection forever; the hardened
+// server must close it once the read timeout elapses.
+func TestSlowHeaderConnectionClosed(t *testing.T) {
+	srv := reuseapi.NewServer(&reuseapi.Dataset{Generated: time.Unix(0, 0).UTC()})
+	httpSrv := newHTTPServer(srv.Handler(), serveOptions{
+		readTimeout:  200 * time.Millisecond,
+		writeTimeout: 200 * time.Millisecond,
+		idleTimeout:  200 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial request line and then stall. The server must hang up
+	// on its own; without timeouts this read would block until the test
+	// deadline.
+	if _, err := conn.Write([]byte("GET /v1/stats HT")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		_, err := conn.Read(buf)
+		if err != nil {
+			if err == io.EOF {
+				return // server closed the slow connection — the fix
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server kept the slow-header connection open past the read timeout")
+			}
+			return // RST is also a close
+		}
+	}
+}
+
+// TestIdleConnectionClosed pins the keep-alive idle timeout: a completed
+// request whose connection then goes quiet must be dropped by the server.
+func TestIdleConnectionClosed(t *testing.T) {
+	srv := reuseapi.NewServer(&reuseapi.Dataset{Generated: time.Unix(0, 0).UTC()})
+	httpSrv := newHTTPServer(srv.Handler(), serveOptions{
+		readTimeout:  time.Second,
+		writeTimeout: time.Second,
+		idleTimeout:  150 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Drain the response, then wait for the idle close.
+	buf := make([]byte, 4096)
+	sawEOF := false
+	for !sawEOF {
+		_, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("idle keep-alive connection survived past the idle timeout")
+			}
+			sawEOF = true
+		}
+	}
+}
+
+// syncBuffer lets the test read the server's stdout while runCtx writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var urlRe = regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+
+// startServe runs runCtx in the background on an ephemeral port and waits
+// for the listen address to appear on stdout.
+func startServe(t *testing.T, args []string) (base string, cancel context.CancelFunc, done <-chan int, out *syncBuffer) {
+	t.Helper()
+	ctx, cancelFn := context.WithCancel(context.Background())
+	outBuf, errBuf := &syncBuffer{}, &syncBuffer{}
+	doneCh := make(chan int, 1)
+	go func() {
+		doneCh <- runCtx(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), outBuf, errBuf)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := urlRe.FindStringSubmatch(outBuf.String()); m != nil {
+			return "http://" + m[1], cancelFn, doneCh, outBuf
+		}
+		select {
+		case code := <-doneCh:
+			t.Fatalf("server exited early with %d\nstdout: %s\nstderr: %s", code, outBuf.String(), errBuf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address\nstdout: %s\nstderr: %s", outBuf.String(), errBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getStats(t *testing.T, base string) reuseapi.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st reuseapi.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeWatchReloadSmoke is the end-to-end hot-reload test: start the
+// server with -watch, rewrite the NATed list on disk, and require the served
+// dataset, the reload counter, and the manifest status to move — then shut
+// down gracefully via the context (the in-process form of SIGINT).
+func TestServeWatchReloadSmoke(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, done, _ := startServe(t, []string{
+		"-nated", nated, "-watch", "-watch-interval", "30ms", "-shutdown-grace", "2s",
+	})
+	defer cancel()
+
+	if st := getStats(t, base); st.NATedAddresses != 1 {
+		t.Fatalf("startup stats = %+v", st)
+	}
+
+	// Rewrite the list (different size, so the stamp changes even on a
+	// coarse-mtime filesystem) and wait for the watcher to swap it in.
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n198.51.100.9\t44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := getStats(t, base); st.NATedAddresses == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dataset never hot-reloaded")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The manifest must carry the reload status.
+	resp, err := http.Get(base + "/debug/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Serving == nil || !m.Serving.Watching || m.Serving.Reloads < 1 {
+		t.Fatalf("manifest serving status = %+v", m.Serving)
+	}
+
+	// The wall counter must have moved too.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "wall_dataset_reloads_total") {
+		t.Errorf("/metrics missing wall_dataset_reloads_total:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("graceful shutdown exited %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within the grace window")
+	}
+}
+
+// TestReloaderKeepsServingOnBadFile pins the failure path: a reload attempt
+// against a now-malformed file must keep the old dataset serving and record
+// the error.
+func TestReloaderKeepsServingOnBadFile(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := serveOptions{natedF: nated, watch: true}
+	data, err := loadFiles(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := reuseapi.NewServer(data)
+	reg := obs.NewRegistry()
+	rel := newReloader(opts, srv, reg, data.Generated)
+
+	if err := os.WriteFile(nated, []byte("not-an-ip is here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel.checkOnce()
+	st := rel.status()
+	if st.LastError == "" {
+		t.Fatal("bad file did not record an error")
+	}
+	if st.Reloads != 0 {
+		t.Errorf("failed reload counted: %+v", st)
+	}
+	if srv.Snapshot().NATedAddresses() != 1 {
+		t.Error("old dataset was replaced by a failed reload")
+	}
+
+	// Fixing the file recovers on the next tick and clears the error.
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n198.51.100.9\t44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel.checkOnce()
+	st = rel.status()
+	if st.Reloads != 1 || st.LastError != "" {
+		t.Errorf("recovery status = %+v", st)
+	}
+	if srv.Snapshot().NATedAddresses() != 2 {
+		t.Error("recovered dataset not serving")
 	}
 }

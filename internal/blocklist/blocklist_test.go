@@ -210,6 +210,29 @@ func TestParseCIDR(t *testing.T) {
 	}
 }
 
+// TestExpandBoundary pins the inclusive boundary Expand documents: a prefix
+// exactly at maxExpandBits expands, one bit shorter stays prefix-only.
+func TestExpandBoundary(t *testing.T) {
+	in := "198.51.0.0/16\n203.0.0.0/15\n192.0.2.0/24\n"
+	res, err := Parse(strings.NewReader(in), FormatCIDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		maxExpandBits int
+		want          int
+	}{
+		{16, 1<<16 + 1<<8},         // the /16 (boundary: Bits == max) and the /24; the /15 stays unexpanded
+		{15, 1<<17 + 1<<16 + 1<<8}, // everything expands
+		{17, 1 << 8},               // only the /24
+		{25, 0},                    // nothing reaches the cutoff
+	} {
+		if got := res.Expand(tc.maxExpandBits).Len(); got != tc.want {
+			t.Errorf("Expand(%d) = %d addresses, want %d", tc.maxExpandBits, got, tc.want)
+		}
+	}
+}
+
 func TestParseDShield(t *testing.T) {
 	in := "# DShield block list\n192.0.2.0\t192.0.2.255\t24\textra\tfields\nbadline\n10.0.0.0\t10.0.0.255\tx\n"
 	res, err := Parse(strings.NewReader(in), FormatDShield)

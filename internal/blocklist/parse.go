@@ -35,8 +35,11 @@ type ParseResult struct {
 	Skipped int
 }
 
-// Expand folds prefixes into the address set; prefixes shorter than
-// maxExpandBits are kept only in Prefixes (expanding a /8 would be absurd).
+// Expand folds prefixes into the address set. The boundary is inclusive: a
+// prefix with Bits() >= maxExpandBits is expanded into individual addresses
+// (a /16 with maxExpandBits=16 contributes all 65536), while a strictly
+// shorter prefix — Bits() < maxExpandBits — is kept only in Prefixes
+// (expanding a /8 would be absurd).
 func (p *ParseResult) Expand(maxExpandBits int) *iputil.Set {
 	out := iputil.NewSet()
 	out.AddSet(p.Addrs)

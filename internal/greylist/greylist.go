@@ -60,10 +60,25 @@ type Policy struct {
 
 // IsReused reports whether the policy considers addr reused.
 func (p *Policy) IsReused(addr iputil.Addr) bool {
+	reason, _ := p.ReuseReason(addr)
+	return reason != ""
+}
+
+// ReuseReason reports why the policy considers addr reused: "nated" for a
+// listed address, "dynamic" (with the covering prefix) for prefix-granular
+// knowledge, or "" when the address carries no reuse evidence. Both layers
+// share iputil's longest-prefix probe (PrefixSet.CoveringPrefix), so policy
+// decisions and the serving API agree on which prefix matched.
+func (p *Policy) ReuseReason(addr iputil.Addr) (reason string, prefix iputil.Prefix) {
 	if p.Reused != nil && p.Reused.Contains(addr) {
-		return true
+		return "nated", iputil.Prefix{}
 	}
-	return p.ReusedPrefixes != nil && p.ReusedPrefixes.Covers(addr)
+	if p.ReusedPrefixes != nil {
+		if cover, ok := p.ReusedPrefixes.CoveringPrefix(addr); ok {
+			return "dynamic", cover
+		}
+	}
+	return "", iputil.Prefix{}
 }
 
 // Classify maps a blocklisted address (listed on feeds of the given types)

@@ -44,6 +44,23 @@ func TestPolicyClassify(t *testing.T) {
 	}
 }
 
+func TestReuseReason(t *testing.T) {
+	p := testPolicy()
+	if reason, _ := p.ReuseReason(iputil.MustParseAddr("100.64.0.1")); reason != "nated" {
+		t.Errorf("NATed reason = %q", reason)
+	}
+	reason, prefix := p.ReuseReason(iputil.MustParseAddr("10.9.0.55"))
+	if reason != "dynamic" || prefix.String() != "10.9.0.0/24" {
+		t.Errorf("dynamic reason = %q, prefix = %v", reason, prefix)
+	}
+	if reason, _ := p.ReuseReason(iputil.MustParseAddr("20.0.0.1")); reason != "" {
+		t.Errorf("clean reason = %q", reason)
+	}
+	if !p.IsReused(iputil.MustParseAddr("10.9.0.55")) || p.IsReused(iputil.MustParseAddr("20.0.0.1")) {
+		t.Error("IsReused disagrees with ReuseReason")
+	}
+}
+
 func TestActionString(t *testing.T) {
 	if Allow.String() != "allow" || Block.String() != "block" || TempFail.String() != "tempfail" {
 		t.Error("Action names wrong")

@@ -44,8 +44,17 @@ func ParseAddr(s string) (Addr, error) {
 		if tok == "" || len(tok) > 3 {
 			return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
 		}
-		n, err := strconv.ParseUint(tok, 10, 32)
-		if err != nil || n > 255 {
+		// Hand-rolled digit loop: an octet is at most three digits, and this
+		// parse sits on the serving hot path (every /v1/check request).
+		n := uint32(0)
+		for j := 0; j < len(tok); j++ {
+			c := tok[j]
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
+			}
+			n = n*10 + uint32(c-'0')
+		}
+		if n > 255 {
 			return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
 		}
 		if len(tok) > 1 && tok[0] == '0' {

@@ -118,15 +118,36 @@ func (ps *PrefixSet) Contains(p Prefix) bool {
 
 // Covers reports whether any member prefix contains a.
 func (ps *PrefixSet) Covers(a Addr) bool {
+	_, ok := ps.CoveringPrefix(a)
+	return ok
+}
+
+// CoveringPrefix returns the longest member prefix containing a. Probes run
+// from /32 down so the first hit is the longest match; lengths with no
+// members are skipped.
+func (ps *PrefixSet) CoveringPrefix(a Addr) (Prefix, bool) {
 	for bits := 32; bits >= 0; bits-- {
 		if ps.lens[bits] == 0 {
 			continue
 		}
-		if _, ok := ps.m[PrefixFrom(a, bits)]; ok {
-			return true
+		p := PrefixFrom(a, bits)
+		if _, ok := ps.m[p]; ok {
+			return p, true
 		}
 	}
-	return false
+	return Prefix{}, false
+}
+
+// Compile builds a longest-prefix-match Table over the members, mapping each
+// address to its longest covering prefix. Lookups on the compiled table walk
+// at most 32 trie nodes with no hashing, which is what serving hot paths
+// want; the set itself stays the mutable build-side representation.
+func (ps *PrefixSet) Compile() *Table[Prefix] {
+	t := NewTable[Prefix]()
+	for p := range ps.m {
+		t.Insert(p, p)
+	}
+	return t
 }
 
 // Len returns the number of member prefixes.

@@ -131,8 +131,11 @@ func TestSetIntersectRandomised(t *testing.T) {
 	}
 }
 
-// TestPrefixSetCoversAgainstLinear cross-checks Covers against a brute-force
-// scan over random mixed-length prefix sets.
+// TestPrefixSetCoversAgainstLinear cross-checks Covers, CoveringPrefix and
+// the compiled Table against a brute-force scan over random mixed-length
+// prefix sets. The brute force tracks the longest containing prefix, so the
+// longest-match contract of CoveringPrefix (and of Table.Lookup on the
+// compiled form) is pinned here too.
 func TestPrefixSetCoversAgainstLinear(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 20; trial++ {
@@ -143,18 +146,51 @@ func TestPrefixSetCoversAgainstLinear(t *testing.T) {
 			ps.Add(p)
 			list = append(list, p)
 		}
+		table := ps.Compile()
+		if table.Len() != ps.Len() {
+			t.Fatalf("Compile len = %d, want %d", table.Len(), ps.Len())
+		}
 		for i := 0; i < 500; i++ {
 			a := Addr(rng.Uint32())
 			want := false
+			var longest Prefix
 			for _, p := range list {
 				if p.Contains(a) {
+					if !want || p.Bits() > longest.Bits() {
+						longest = p
+					}
 					want = true
-					break
 				}
 			}
 			if got := ps.Covers(a); got != want {
 				t.Fatalf("Covers(%v) = %v, want %v", a, got, want)
 			}
+			gotP, ok := ps.CoveringPrefix(a)
+			if ok != want || (ok && gotP != longest) {
+				t.Fatalf("CoveringPrefix(%v) = %v, %v; want %v, %v", a, gotP, ok, longest, want)
+			}
+			tblP, tblOK := table.Lookup(a)
+			if tblOK != want || (tblOK && tblP != longest) {
+				t.Fatalf("Compile().Lookup(%v) = %v, %v; want %v, %v", a, tblP, tblOK, longest, want)
+			}
 		}
+	}
+}
+
+func TestCoveringPrefixLongestWins(t *testing.T) {
+	ps := NewPrefixSet()
+	ps.Add(MustParsePrefix("10.0.0.0/8"))
+	ps.Add(MustParsePrefix("10.9.0.0/16"))
+	ps.Add(MustParsePrefix("10.9.7.0/24"))
+	p, ok := ps.CoveringPrefix(MustParseAddr("10.9.7.200"))
+	if !ok || p.String() != "10.9.7.0/24" {
+		t.Errorf("CoveringPrefix = %v, %v; want 10.9.7.0/24", p, ok)
+	}
+	p, ok = ps.CoveringPrefix(MustParseAddr("10.9.8.1"))
+	if !ok || p.String() != "10.9.0.0/16" {
+		t.Errorf("CoveringPrefix = %v, %v; want 10.9.0.0/16", p, ok)
+	}
+	if _, ok := ps.CoveringPrefix(MustParseAddr("11.0.0.1")); ok {
+		t.Error("CoveringPrefix matched outside every member")
 	}
 }

@@ -41,8 +41,32 @@ type Manifest struct {
 	Stages  []StageStatus `json:"stages,omitempty"`
 	Metrics []Metric      `json:"metrics,omitempty"`
 
+	// Serving is filled by long-running servers (blserve) with their live
+	// dataset state; nil for one-shot study runs.
+	Serving *ServingStatus `json:"serving,omitempty"`
+
 	// GeneratedAt is the wall-clock build instant (non-deterministic).
 	GeneratedAt time.Time `json:"generated_at"`
+}
+
+// ServingStatus is a server's dataset lifecycle in the manifest: whether hot
+// reload is watching the input files, how many reloads have landed, and how
+// the last attempt fared. All wall-clock-grade (a serving process is not a
+// deterministic study).
+type ServingStatus struct {
+	// Watching reports whether a file watcher is polling for new datasets.
+	Watching bool `json:"watching"`
+	// Reloads counts dataset swaps since startup (mirrors the
+	// wall_dataset_reloads_total counter).
+	Reloads int64 `json:"dataset_reloads"`
+	// LastReload is when the latest successful swap landed (zero when the
+	// startup dataset is still serving).
+	LastReload time.Time `json:"last_reload"`
+	// LastError is the most recent failed reload attempt's error; a later
+	// successful reload clears it.
+	LastError string `json:"last_reload_error,omitempty"`
+	// DatasetGenerated is the served dataset's build stamp.
+	DatasetGenerated time.Time `json:"dataset_generated"`
 }
 
 // NewManifest seeds a manifest with build and host provenance; the caller

@@ -3,21 +3,28 @@
 // available and also publish a new address list that has all reused
 // addresses we detect", §1). Operators integrate it as a lookup service:
 //
-//	GET /v1/check?ip=192.0.2.7     -> JSON verdict (reused? how? users?)
-//	GET /v1/list                   -> the full plain-text list
-//	GET /v1/prefixes               -> dynamic prefixes, one CIDR per line
-//	GET /v1/stats                  -> dataset summary
+//	GET  /v1/check?ip=192.0.2.7    -> JSON verdict (reused? how? users?)
+//	POST /v1/check                 -> batch: JSON array of IPs -> array of verdicts
+//	GET  /v1/list                  -> the full plain-text list (ETag, gzip)
+//	GET  /v1/prefixes              -> dynamic prefixes, one CIDR per line (ETag, gzip)
+//	GET  /v1/stats                 -> dataset summary
+//
+// The serving path is built around an immutable compiled Snapshot per
+// dataset (see snapshot.go): handlers read one atomic pointer, do a binary
+// search or a trie walk, and write precomputed or pool-buffered bytes — no
+// locks, no per-request sorting, no steady-state allocation on the check
+// path. Update compiles a fresh snapshot off the request path and swaps the
+// pointer, so datasets hot-reload under load without a stalled request.
 package reuseapi
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"sort"
-	"sync"
+	"strings"
+	"sync/atomic"
 	"time"
 
-	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/obs"
 )
@@ -55,16 +62,22 @@ type Error struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// MaxBatchBytes bounds the POST /v1/check request body; a full batch of
+// MaxBatchIPs dotted quads fits comfortably.
+const MaxBatchBytes = 1 << 20
+
+// MaxBatchIPs bounds how many addresses one batch check may carry.
+const MaxBatchIPs = 10_000
+
 // Server wraps a Dataset with HTTP handlers. Safe for concurrent use; the
 // dataset can be swapped atomically with Update. The exported fields are
 // optional observability hooks; set them before calling Handler.
 type Server struct {
-	mu   sync.RWMutex
-	data *Dataset
+	snap atomic.Pointer[Snapshot]
 
-	// Obs, when non-nil, counts requests per endpoint (under the wall
-	// namespace — traffic is not part of the deterministic study surface)
-	// and is served in Prometheus text form at /metrics.
+	// Obs, when non-nil, counts requests and observes per-endpoint latency
+	// (under the wall namespace — traffic is not part of the deterministic
+	// study surface) and is served in Prometheus text form at /metrics.
 	Obs *obs.Registry
 	// Manifest, when non-nil, is served as JSON at /debug/manifest.
 	Manifest obs.ManifestSource
@@ -72,17 +85,23 @@ type Server struct {
 	EnablePprof bool
 }
 
-// NewServer builds a server over the dataset.
+// NewServer builds a server over the dataset, compiling its first snapshot.
 func NewServer(data *Dataset) *Server {
-	return &Server{data: normalize(data)}
+	s := &Server{}
+	s.snap.Store(Compile(normalize(data)))
+	return s
 }
 
-// Update swaps the served dataset (e.g. after a fresh crawl).
+// Update swaps the served dataset (e.g. after a fresh crawl). The snapshot
+// is compiled here, off the request path; in-flight requests keep the
+// snapshot they already loaded, new requests see the new one.
 func (s *Server) Update(data *Dataset) {
-	data = normalize(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = data
+	s.snap.Store(Compile(normalize(data)))
+}
+
+// Snapshot returns the currently served compiled dataset.
+func (s *Server) Snapshot() *Snapshot {
+	return s.snap.Load()
 }
 
 func normalize(data *Dataset) *Dataset {
@@ -95,13 +114,26 @@ func normalize(data *Dataset) *Dataset {
 	return data
 }
 
-// Handler returns the HTTP mux.
+// Handler returns the HTTP handler. Observability hooks (Obs, Manifest,
+// EnablePprof) are bound here, so set them before calling.
+//
+// The four API endpoints are dispatched with an exact-path switch before
+// falling back to a ServeMux: the switch costs a handful of compares where
+// the mux's routing tree costs a tree walk per request, and the mux still
+// backs everything else (path cleaning, /metrics, /debug/...).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/check", s.counted("check", s.handleCheck))
-	mux.HandleFunc("/v1/list", s.counted("list", s.handleList))
-	mux.HandleFunc("/v1/prefixes", s.counted("prefixes", s.handlePrefixes))
-	mux.HandleFunc("/v1/stats", s.counted("stats", s.handleStats))
+	h := &apiHandler{
+		mux:      mux,
+		check:    s.counted("check", s.handleCheck),
+		list:     s.counted("list", s.handleList),
+		prefixes: s.counted("prefixes", s.handlePrefixes),
+		stats:    s.counted("stats", s.handleStats),
+	}
+	mux.HandleFunc("/v1/check", h.check)
+	mux.HandleFunc("/v1/list", h.list)
+	mux.HandleFunc("/v1/prefixes", h.prefixes)
+	mux.HandleFunc("/v1/stats", h.stats)
 	if s.Obs != nil {
 		mux.Handle("/metrics", obs.MetricsHandler(s.Obs))
 	}
@@ -111,15 +143,51 @@ func (s *Server) Handler() http.Handler {
 	if s.EnablePprof {
 		obs.RegisterPprof(mux)
 	}
-	return mux
+	return h
 }
 
-// counted wraps an endpoint handler with a per-endpoint request counter.
-// A nil registry counts nothing.
+// apiHandler fast-paths the fixed API endpoints around the mux.
+type apiHandler struct {
+	mux                          *http.ServeMux
+	check, list, prefixes, stats http.HandlerFunc
+}
+
+func (h *apiHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/check":
+		h.check(w, r)
+	case "/v1/list":
+		h.list(w, r)
+	case "/v1/prefixes":
+		h.prefixes(w, r)
+	case "/v1/stats":
+		h.stats(w, r)
+	default:
+		h.mux.ServeHTTP(w, r)
+	}
+}
+
+// latencyBuckets are the per-endpoint request-duration bounds, in seconds.
+var latencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+
+// counted wraps an endpoint handler with a request counter and a latency
+// histogram. The metric handles are resolved once here — not per request —
+// so the hot path does no name composition or registry locking. A nil
+// registry yields nil handles, whose methods are no-ops (see obs): the
+// wrapper is then just a time.Now pair around the handler.
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if s.Obs == nil {
+		// No registry, no wrapper: the uninstrumented hot path should not
+		// pay for two clock reads per request.
+		return h
+	}
+	reqs := s.Obs.Counter(obs.Name(obs.WallPrefix+"api_requests_total", "endpoint", endpoint))
+	lat := s.Obs.Histogram(obs.Name(obs.WallPrefix+"api_request_seconds", "endpoint", endpoint), latencyBuckets)
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.Obs.Counter(obs.Name(obs.WallPrefix+"api_requests_total", "endpoint", endpoint)).Inc()
+		start := time.Now()
+		reqs.Inc()
 		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -131,19 +199,54 @@ func writeError(w http.ResponseWriter, code int, msg, detail string) {
 	_ = json.NewEncoder(w).Encode(Error{Error: msg, Detail: detail})
 }
 
-func (s *Server) snapshot() *Dataset {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.data
+// encodeJSONLine is json.Encoder.Encode into a byte slice: Marshal plus the
+// trailing newline, with identical escaping.
+func encodeJSONLine(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The types encoded here (Stats, []Verdict) cannot fail to marshal.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// queryIP extracts the ip parameter from the raw query without building the
+// url.Values map — the only query parameter the check endpoint takes, parsed
+// allocation-free for the hot path. Addresses never need unescaping, so a
+// value containing '%' or '+' is simply left as-is and fails ParseAddr.
+func queryIP(r *http.Request) (string, bool) {
+	q := r.URL.RawQuery
+	for len(q) > 0 {
+		var pair string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		if rest, ok := strings.CutPrefix(pair, "ip="); ok {
+			return rest, true
+		}
+	}
+	return "", false
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleCheckOne(w, r)
+	case http.MethodPost:
+		s.handleCheckBatch(w, r)
+	default:
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
-		return
 	}
-	ipStr := r.URL.Query().Get("ip")
-	if ipStr == "" {
+}
+
+// handleCheckOne is the hot path: one atomic load, a binary search, a trie
+// walk, and an append-only encode into a pooled buffer. Zero steady-state
+// allocations (pinned by TestCheckHotPathZeroAlloc).
+func (s *Server) handleCheckOne(w http.ResponseWriter, r *http.Request) {
+	ipStr, ok := queryIP(r)
+	if !ok || ipStr == "" {
 		writeError(w, http.StatusBadRequest, "missing ip parameter", "")
 		return
 	}
@@ -152,28 +255,113 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed ip parameter", ipStr)
 		return
 	}
-	data := s.snapshot()
-	v := Verdict{IP: addr.String()}
-	if users, ok := data.NATUsers[addr]; ok {
-		v.Reused, v.NATed, v.Users = true, true, users
+	snap := s.snap.Load()
+	bufp := verdictBufPool.Get().(*[]byte)
+	buf := snap.appendVerdict((*bufp)[:0], addr)
+	setContentTypeJSON(w)
+	_, _ = w.Write(buf)
+	*bufp = buf[:0]
+	verdictBufPool.Put(bufp)
+}
+
+// contentTypeJSON is the shared Content-Type value for the hot paths: direct
+// map assignment of a package-level slice instead of Header().Set, which
+// allocates a fresh one-element slice per request. Handlers never mutate it.
+var contentTypeJSON = []string{"application/json"}
+
+func setContentTypeJSON(w http.ResponseWriter) {
+	w.Header()["Content-Type"] = contentTypeJSON
+}
+
+// handleCheckBatch answers POST /v1/check: a JSON array of IP strings maps
+// to a JSON array of verdicts in the same order. The body is size-bounded;
+// a malformed entry fails the whole batch with a 400 naming it, so callers
+// never have to guess which verdicts are real.
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBytes)
+	var ips []string
+	if err := json.NewDecoder(r.Body).Decode(&ips); err != nil {
+		code := http.StatusBadRequest
+		msg := "malformed batch body: want a JSON array of IP strings"
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+			msg = "batch body too large"
+		}
+		writeError(w, code, msg, err.Error())
+		return
 	}
-	for bits := 32; bits >= 0; bits-- {
-		p := iputil.PrefixFrom(addr, bits)
-		if data.DynamicPrefixes.Contains(p) {
-			v.Reused, v.Dynamic, v.Prefix = true, true, p.String()
-			break
+	if len(ips) > MaxBatchIPs {
+		writeError(w, http.StatusRequestEntityTooLarge, "too many addresses in batch", "")
+		return
+	}
+	snap := s.snap.Load()
+	buf := make([]byte, 0, 32+128*len(ips))
+	buf = append(buf, '[')
+	for i, ipStr := range ips {
+		addr, err := iputil.ParseAddr(ipStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed ip in batch", ipStr)
+			return
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		// appendVerdict ends each object with json.Encoder's newline;
+		// strip it inside the array.
+		buf = snap.appendVerdict(buf, addr)
+		buf = buf[:len(buf)-1]
+	}
+	buf = append(buf, ']', '\n')
+	setContentTypeJSON(w)
+	_, _ = w.Write(buf)
+}
+
+// servePrecomputed writes a compile-time body with ETag/If-None-Match
+// revalidation and a pre-gzipped variant when the client asks for one.
+func servePrecomputed(w http.ResponseWriter, r *http.Request, pb *precomputedBody, contentType string) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("ETag", pb.etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, pb.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if pb.gz != nil && acceptsGzip(r) {
+		h.Set("Content-Encoding", "gzip")
+		_, _ = w.Write(pb.gz)
+		return
+	}
+	_, _ = w.Write(pb.body)
+}
+
+// etagMatches implements the If-None-Match list: either "*" or any listed
+// entity tag equal to ours (weak prefixes tolerated for revalidation).
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
 		}
 	}
-	switch {
-	case v.NATed:
-		v.Advice = "shared address: prefer greylisting/challenges over hard blocking (except DDoS)"
-	case v.Dynamic:
-		v.Advice = "dynamically allocated: listing likely outlives the abuser; use short TTLs or greylisting"
-	default:
-		v.Advice = "no reuse evidence: standard blocklist handling applies"
+	return false
+}
+
+// acceptsGzip reports whether the Accept-Encoding header admits gzip. A
+// quality of zero ("gzip;q=0") is a refusal.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if enc != "gzip" && enc != "*" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
+			return false
+		}
+		return true
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	return false
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -181,14 +369,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
-	data := s.snapshot()
-	addrs := iputil.NewSet()
-	for a := range data.NATUsers {
-		addrs.Add(a)
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = blocklist.WritePlain(w, addrs,
-		fmt.Sprintf("NATed reused addresses, generated %s", data.Generated.UTC().Format(time.RFC3339)))
+	servePrecomputed(w, r, &s.snap.Load().list, "text/plain; charset=utf-8")
 }
 
 func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request) {
@@ -196,12 +377,7 @@ func (s *Server) handlePrefixes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
-	data := s.snapshot()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "# dynamic prefixes, generated %s\n", data.Generated.UTC().Format(time.RFC3339))
-	for _, p := range data.DynamicPrefixes.Sorted() {
-		fmt.Fprintln(w, p)
-	}
+	servePrecomputed(w, r, &s.snap.Load().prefixesB, "text/plain; charset=utf-8")
 }
 
 // Stats is the JSON answer of /v1/stats. An empty dataset is a valid,
@@ -219,20 +395,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
 		return
 	}
-	data := s.snapshot()
-	st := Stats{
-		NATedAddresses:  len(data.NATUsers),
-		DynamicPrefixes: data.DynamicPrefixes.Len(),
-		Generated:       data.Generated,
+	setContentTypeJSON(w)
+	_, _ = w.Write(s.snap.Load().stats.body)
+}
+
+// Check answers the verdict for addr against the current snapshot — the
+// in-process form of GET /v1/check for embedders (greylist policies, tests).
+func (s *Server) Check(addr iputil.Addr) Verdict {
+	return s.snap.Load().Verdict(addr)
+}
+
+// Verdict computes the check answer for addr straight from the dataset —
+// the uncompiled reference the snapshot path is tested against. It uses the
+// PrefixSet's own longest-match probe (CoveringPrefix) where the snapshot
+// uses the compiled trie.
+func (d *Dataset) Verdict(addr iputil.Addr) Verdict {
+	v := Verdict{IP: addr.String()}
+	if users, ok := d.NATUsers[addr]; ok {
+		v.Reused, v.NATed, v.Users = true, true, users
 	}
-	for _, u := range data.NATUsers {
-		if u > st.MaxUsers {
-			st.MaxUsers = u
-		}
+	if p, ok := d.DynamicPrefixes.CoveringPrefix(addr); ok {
+		v.Reused, v.Dynamic, v.Prefix = true, true, p.String()
 	}
-	st.Empty = st.NATedAddresses == 0 && st.DynamicPrefixes == 0
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(st)
+	switch {
+	case v.NATed:
+		v.Advice = adviceNATed
+	case v.Dynamic:
+		v.Advice = adviceDynamic
+	default:
+		v.Advice = adviceClean
+	}
+	return v
 }
 
 // SortedNATed returns the NATed addresses in order (for deterministic dumps).

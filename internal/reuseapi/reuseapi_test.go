@@ -88,14 +88,24 @@ func TestCheckErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad ip status = %d", resp.StatusCode)
 	}
+	// POST is the batch endpoint now; an empty body is a malformed batch.
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/check?ip=8.8.8.8", nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST with empty body status = %d, want 400", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/v1/check?ip=8.8.8.8", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST status = %d", resp.StatusCode)
+		t.Errorf("PUT status = %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,282 @@
+package reuseapi
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// Snapshot is the immutable compiled form of a Dataset: everything the
+// request handlers need, computed once at build (or Update) time so the hot
+// paths never sort, hash-probe per prefix length, or render a body under a
+// request. Lookups run against a sorted address array (binary search) and a
+// compiled longest-prefix-match trie; the full-body endpoints serve
+// precomputed bytes with strong ETags and a pre-gzipped variant.
+//
+// A Snapshot is never mutated after Compile returns, so the Server can hand
+// the same pointer to any number of concurrent requests and swap datasets
+// with a single atomic store.
+type Snapshot struct {
+	generated time.Time
+
+	// NAT lookup: natAddrs is sorted ascending, natUsers is parallel.
+	natAddrs []iputil.Addr
+	natUsers []int
+	maxUsers int
+	// nat16, when built, buckets natAddrs by the top 16 address bits:
+	// nat16[h] is the first index whose address has high half >= h, so a
+	// lookup binary-searches only its own (typically 0–3 entry) bucket
+	// instead of cache-missing across the whole array.
+	nat16 []int32
+
+	// Dynamic-prefix lookup: a compiled trie answering longest-prefix
+	// match in ≤32 node walks, plus the rendered form of each member so
+	// the verdict encoder never calls Prefix.String per request.
+	prefixes *iputil.Table[compiledPrefix]
+	nDynamic int
+
+	list      precomputedBody
+	prefixesB precomputedBody
+	stats     precomputedBody
+}
+
+// compiledPrefix is a trie value: the prefix plus its pre-rendered CIDR text.
+type compiledPrefix struct {
+	cidr string
+}
+
+// precomputedBody is one endpoint's response, rendered at compile time.
+type precomputedBody struct {
+	body []byte
+	gz   []byte // gzip of body; nil when gzip would not help
+	etag string // strong ETag, quoted
+}
+
+// Compile builds the snapshot for data. data must already be normalized.
+func Compile(data *Dataset) *Snapshot {
+	s := &Snapshot{generated: data.Generated}
+
+	s.natAddrs = make([]iputil.Addr, 0, len(data.NATUsers))
+	for a := range data.NATUsers {
+		s.natAddrs = append(s.natAddrs, a)
+	}
+	sort.Slice(s.natAddrs, func(i, j int) bool { return s.natAddrs[i] < s.natAddrs[j] })
+	s.natUsers = make([]int, len(s.natAddrs))
+	for i, a := range s.natAddrs {
+		u := data.NATUsers[a]
+		s.natUsers[i] = u
+		if u > s.maxUsers {
+			s.maxUsers = u
+		}
+	}
+
+	// Index the high halves once the array is big enough that a whole-array
+	// binary search starts cache-missing; small datasets don't need it.
+	if len(s.natAddrs) >= 1024 {
+		s.nat16 = make([]int32, 1<<16+1)
+		h := 0
+		for i, a := range s.natAddrs {
+			for top := int(a >> 16); h <= top; h++ {
+				s.nat16[h] = int32(i)
+			}
+		}
+		for ; h <= 1<<16; h++ {
+			s.nat16[h] = int32(len(s.natAddrs))
+		}
+	}
+
+	s.prefixes = iputil.NewTable[compiledPrefix]()
+	sortedPrefixes := data.DynamicPrefixes.Sorted()
+	s.nDynamic = len(sortedPrefixes)
+	for _, p := range sortedPrefixes {
+		s.prefixes.Insert(p, compiledPrefix{cidr: p.String()})
+	}
+
+	s.list = precompute(renderList(data, s.natAddrs))
+	s.prefixesB = precompute(renderPrefixes(data, sortedPrefixes))
+	s.stats = precompute(renderStats(s))
+	return s
+}
+
+// renderList produces the /v1/list body — byte-identical to what the
+// pre-snapshot server rendered per request with blocklist.WritePlain.
+func renderList(data *Dataset, sorted []iputil.Addr) []byte {
+	var buf bytes.Buffer
+	set := iputil.NewSet()
+	for _, a := range sorted {
+		set.Add(a)
+	}
+	_ = blocklist.WritePlain(&buf, set,
+		fmt.Sprintf("NATed reused addresses, generated %s", data.Generated.UTC().Format(time.RFC3339)))
+	return buf.Bytes()
+}
+
+// renderPrefixes produces the /v1/prefixes body.
+func renderPrefixes(data *Dataset, sorted []iputil.Prefix) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# dynamic prefixes, generated %s\n", data.Generated.UTC().Format(time.RFC3339))
+	for _, p := range sorted {
+		fmt.Fprintln(&buf, p)
+	}
+	return buf.Bytes()
+}
+
+// renderStats produces the /v1/stats body (JSON object plus the trailing
+// newline json.Encoder emits).
+func renderStats(s *Snapshot) []byte {
+	st := Stats{
+		NATedAddresses:  len(s.natAddrs),
+		DynamicPrefixes: s.nDynamic,
+		MaxUsers:        s.maxUsers,
+		Generated:       s.generated,
+	}
+	st.Empty = st.NATedAddresses == 0 && st.DynamicPrefixes == 0
+	return encodeJSONLine(st)
+}
+
+// precompute derives the ETag and gzip variant for a rendered body.
+func precompute(body []byte) precomputedBody {
+	sum := sha256.Sum256(body)
+	pb := precomputedBody{
+		body: body,
+		etag: `"` + hex.EncodeToString(sum[:16]) + `"`,
+	}
+	var gz bytes.Buffer
+	w, _ := gzip.NewWriterLevel(&gz, gzip.BestCompression)
+	_, _ = w.Write(body)
+	_ = w.Close()
+	// Only keep the compressed variant when it actually saves bytes;
+	// tiny bodies gzip larger than they start.
+	if gz.Len() < len(body) {
+		pb.gz = gz.Bytes()
+	}
+	return pb
+}
+
+// NATedAddresses returns the number of served NATed addresses.
+func (s *Snapshot) NATedAddresses() int { return len(s.natAddrs) }
+
+// DynamicPrefixes returns the number of served dynamic prefixes.
+func (s *Snapshot) DynamicPrefixes() int { return s.nDynamic }
+
+// Generated returns the dataset build time.
+func (s *Snapshot) Generated() time.Time { return s.generated }
+
+// lookupNAT binary-searches the sorted address array, narrowed to the
+// address's /16 bucket when the nat16 index was built.
+func (s *Snapshot) lookupNAT(a iputil.Addr) (users int, ok bool) {
+	lo, hi := 0, len(s.natAddrs)
+	if s.nat16 != nil {
+		lo, hi = int(s.nat16[a>>16]), int(s.nat16[a>>16+1])
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.natAddrs[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.natAddrs) && s.natAddrs[lo] == a {
+		return s.natUsers[lo], true
+	}
+	return 0, false
+}
+
+// Advice strings mirror the paper's Section 6 guidance; they are constants so
+// the verdict encoder can append them without allocation.
+const (
+	adviceNATed   = "shared address: prefer greylisting/challenges over hard blocking (except DDoS)"
+	adviceDynamic = "dynamically allocated: listing likely outlives the abuser; use short TTLs or greylisting"
+	adviceClean   = "no reuse evidence: standard blocklist handling applies"
+)
+
+// Verdict computes the check answer for addr — the reference form used by
+// the batch endpoint and by tests; the single-check hot path uses
+// appendVerdict to produce the same bytes without allocating.
+func (s *Snapshot) Verdict(addr iputil.Addr) Verdict {
+	v := Verdict{IP: addr.String()}
+	if users, ok := s.lookupNAT(addr); ok {
+		v.Reused, v.NATed, v.Users = true, true, users
+	}
+	if cp, ok := s.prefixes.Lookup(addr); ok {
+		v.Reused, v.Dynamic, v.Prefix = true, true, cp.cidr
+	}
+	switch {
+	case v.NATed:
+		v.Advice = adviceNATed
+	case v.Dynamic:
+		v.Advice = adviceDynamic
+	default:
+		v.Advice = adviceClean
+	}
+	return v
+}
+
+// appendVerdict appends the JSON encoding of the verdict for addr to buf,
+// byte-identical to encoding/json of Verdict followed by the '\n' that
+// json.Encoder emits. Everything appended is either a constant, a digit run,
+// or a pre-rendered CIDR string, so the append never escapes and never
+// allocates beyond buf growth (which a pooled buffer amortises to zero).
+func (s *Snapshot) appendVerdict(buf []byte, addr iputil.Addr) []byte {
+	users, nated := s.lookupNAT(addr)
+	cp, dynamic := s.prefixes.Lookup(addr)
+
+	buf = append(buf, `{"ip":"`...)
+	buf = appendAddr(buf, addr)
+	buf = append(buf, `","reused":`...)
+	buf = strconv.AppendBool(buf, nated || dynamic)
+	buf = append(buf, `,"nated":`...)
+	buf = strconv.AppendBool(buf, nated)
+	buf = append(buf, `,"dynamic":`...)
+	buf = strconv.AppendBool(buf, dynamic)
+	if nated && users != 0 {
+		buf = append(buf, `,"users":`...)
+		buf = strconv.AppendInt(buf, int64(users), 10)
+	}
+	if dynamic {
+		buf = append(buf, `,"prefix":"`...)
+		buf = append(buf, cp.cidr...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"advice":"`...)
+	switch {
+	case nated:
+		buf = append(buf, adviceNATed...)
+	case dynamic:
+		buf = append(buf, adviceDynamic...)
+	default:
+		buf = append(buf, adviceClean...)
+	}
+	buf = append(buf, '"', '}', '\n')
+	return buf
+}
+
+// appendAddr appends dotted-quad notation without allocating.
+func appendAddr(buf []byte, a iputil.Addr) []byte {
+	buf = strconv.AppendUint(buf, uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	return strconv.AppendUint(buf, uint64(a&0xff), 10)
+}
+
+// verdictBufPool recycles the per-request verdict buffers so the check hot
+// path allocates nothing in steady state.
+var verdictBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
