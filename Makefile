@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test ci bench bench-obs bench-serve report fuzz clean verify-props coverage
+.PHONY: all build vet test ci bench bench-obs bench-serve report fuzz clean verify-props coverage e2e e2e-smoke
 
 all: build vet test
 
@@ -59,6 +59,19 @@ verify-props:
 # floor in scripts/coverage_floor.txt.
 coverage:
 	./scripts/coverage_ratchet.sh
+
+# End-to-end scenario suite: every scenario builds the cmd binaries and
+# boots crawler fleet + pipeline + blserve as real processes over loopback,
+# asserting on the served API against the ground-truth oracles. The load-gen
+# scenario appends its latency record to BENCH_e2e.json (override the path
+# with E2E_BENCH_OUT). On failure, process logs land under E2E_LOG_DIR.
+e2e:
+	$(GO) test -tags e2e -v -timeout 15m ./internal/e2e/
+
+# The smoke subset (Smoke-marked scenarios only) under the race detector —
+# what CI runs on every push.
+e2e-smoke:
+	$(GO) test -tags e2e -race -short -timeout 10m ./internal/e2e/
 
 # bench_artifacts/ holds the committed golden files; regenerate with
 # `make bench` rather than deleting.

@@ -10,9 +10,14 @@
 // address is not possible on loopback, so the real mode demonstrates the
 // crawler against live sockets and reports discovery statistics.
 //
+// A fleet of blcrawl processes can split one world between them: -shard i/N
+// restricts this instance's probing scope to the i-th of N address shards
+// (the world itself is regenerated identically from the seed in every
+// process), so the union of the shards' -out files is a full-world dataset.
+//
 // Usage:
 //
-//	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-faults SCENARIO] [-out FILE]
+//	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-faults SCENARIO] [-shard I/N] [-out FILE]
 //	blcrawl -real 50 [-duration DUR]
 package main
 
@@ -24,6 +29,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay   = fs.String("replay", "", "post-process an existing message log instead of crawling")
 		window   = fs.Duration("window", 30*time.Second, "ping-window for -replay scoring")
 		faultScn = fs.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
+		shard    = fs.String("shard", "", "crawl only the I-th of N address shards, as I/N (simulated mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,13 +80,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "blcrawl:", err)
 		return 1
 	}
+	shardIdx, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(stderr, "blcrawl:", err)
+		return 1
+	}
 	switch {
 	case *replay != "":
 		err = runReplay(*replay, *window, stdout)
 	case *realN > 0:
 		err = runReal(*realN, *duration, stdout)
 	default:
-		err = runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario, stdout, stderr)
+		err = runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario, shardIdx, shardN, stdout, stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "blcrawl:", err)
@@ -108,7 +120,26 @@ func runReplay(path string, window time.Duration, stdout io.Writer) error {
 	return nil
 }
 
-func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, stdout, stderr io.Writer) (err error) {
+// parseShard parses the -shard value: empty means "no sharding", otherwise
+// "I/N" with 0 <= I < N selects the I-th of N address shards.
+func parseShard(s string) (idx, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(is)
+		if err == nil {
+			n, err = strconv.Atoi(ns)
+		}
+	}
+	if !ok || err != nil || n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want I/N with 0 <= I < N", s)
+	}
+	return idx, n, nil
+}
+
+func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, shardIdx, shardN int, stdout, stderr io.Writer) (err error) {
 	wp := blgen.DefaultParams(seed)
 	wp.Scale = scale
 	w := blgen.Generate(wp)
@@ -128,9 +159,20 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 	if err != nil {
 		return err
 	}
+	cover := scope.Covers
+	if shardN > 1 {
+		// Restrict probing to this instance's address shard. The bootstrap
+		// stays reachable from every shard, or a scope-restricted crawler
+		// could never take its first step.
+		bootstrap := swarm.Bootstrap.Addr
+		cover = func(a iputil.Addr) bool {
+			return scope.Covers(a) && (a == bootstrap || int(uint32(a)%uint32(shardN)) == shardIdx)
+		}
+		fmt.Fprintf(stderr, "crawling shard %d/%d of the address space\n", shardIdx, shardN)
+	}
 	ccfg := crawler.Config{
 		Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
-		Scope:     scope.Covers,
+		Scope:     cover,
 		Seed:      seed,
 	}
 	if scenario != nil {
@@ -179,31 +221,32 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 		}
 	}
 
-	detected := iputil.NewSet()
+	detected := map[iputil.Addr]int{}
 	truePositives := 0
 	for _, o := range c.NATed() {
-		detected.Add(o.Addr)
+		detected[o.Addr] = o.Users
 		if _, ok := w.NATByIP[o.Addr]; ok {
 			truePositives++
 		}
 	}
-	if detected.Len() > 0 {
+	if len(detected) > 0 {
 		fmt.Fprintf(stdout, "ground truth:       %d/%d detected addresses are true NAT gateways\n",
-			truePositives, detected.Len())
+			truePositives, len(detected))
 	}
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		if err := blocklist.WritePlain(f, detected, "NATed addresses detected by blcrawl"); err != nil {
+		header := "NATed addresses detected by blcrawl (addr<TAB>users lower bound)"
+		if err := blocklist.WriteNATedList(f, detected, header); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "wrote %d addresses to %s\n", detected.Len(), out)
+		fmt.Fprintf(stderr, "wrote %d addresses to %s\n", len(detected), out)
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	blserve -nated FILE -dynamic FILE [-addr :8080] [-watch]
+//	blserve -nated FILE -dynamic FILE [-addr :8080] [-watch] [-dataset-faults NAME]
 //	blserve -generate [-seed N] [-scale F] [-addr :8080] [-pprof]
 //
 // Endpoints: /v1/check?ip=A.B.C.D (GET) and batch POST /v1/check, /v1/list,
@@ -89,6 +89,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		watch         = fs.Bool("watch", false, "poll the -nated/-dynamic files and hot-reload the dataset on change")
 		watchInterval = fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+		datasetFaults = fs.String("dataset-faults", "", "fault scenario the served dataset was crawled under (provenance label surfaced in /debug/manifest)")
 
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "per-connection read (and header) timeout")
 		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "per-response write timeout")
@@ -116,6 +117,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "blserve:", err)
 		return 1
+	}
+	if *datasetFaults != "" {
+		// Crawl provenance travels with the dataset: a list collected under
+		// a fault scenario says so in its manifest, even though the files
+		// themselves carry no such metadata.
+		manifest.FaultScenario = *datasetFaults
 	}
 
 	srv := reuseapi.NewServer(data)

@@ -11,12 +11,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/reuseblock/reuseblock/internal/e2e"
 	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/reuseapi"
 )
@@ -204,10 +204,9 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var urlRe = regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
-
-// startServe runs runCtx in the background on an ephemeral port and waits
-// for the listen address to appear on stdout.
+// startServe runs runCtx in the background on an ephemeral port and waits —
+// via the e2e harness's readiness poll, not a fixed sleep — for the listen
+// address to appear on stdout and the API to answer.
 func startServe(t *testing.T, args []string) (base string, cancel context.CancelFunc, done <-chan int, out *syncBuffer) {
 	t.Helper()
 	ctx, cancelFn := context.WithCancel(context.Background())
@@ -216,21 +215,23 @@ func startServe(t *testing.T, args []string) (base string, cancel context.Cancel
 	go func() {
 		doneCh <- runCtx(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), outBuf, errBuf)
 	}()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if m := urlRe.FindStringSubmatch(outBuf.String()); m != nil {
-			return "http://" + m[1], cancelFn, doneCh, outBuf
-		}
+	err := e2e.WaitFor(10*time.Second, 10*time.Millisecond, func() (bool, error) {
 		select {
 		case code := <-doneCh:
-			t.Fatalf("server exited early with %d\nstdout: %s\nstderr: %s", code, outBuf.String(), errBuf.String())
+			return false, fmt.Errorf("server exited early with %d", code)
 		default:
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("server never reported its address\nstdout: %s\nstderr: %s", outBuf.String(), errBuf.String())
-		}
-		time.Sleep(10 * time.Millisecond)
+		var ok bool
+		base, ok = e2e.FindBaseURL(outBuf.String())
+		return ok, nil
+	})
+	if err != nil {
+		t.Fatalf("%v\nstdout: %s\nstderr: %s", err, outBuf.String(), errBuf.String())
 	}
+	if err := e2e.WaitHTTPOK(base+"/v1/stats", 10*time.Second); err != nil {
+		t.Fatalf("server never became ready: %v\nstderr: %s", err, errBuf.String())
+	}
+	return base, cancelFn, doneCh, outBuf
 }
 
 func getStats(t *testing.T, base string) reuseapi.Stats {
@@ -271,15 +272,10 @@ func TestServeWatchReloadSmoke(t *testing.T) {
 	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n198.51.100.9\t44\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if st := getStats(t, base); st.NATedAddresses == 2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("dataset never hot-reloaded")
-		}
-		time.Sleep(20 * time.Millisecond)
+	if err := e2e.WaitFor(10*time.Second, 20*time.Millisecond, func() (bool, error) {
+		return getStats(t, base).NATedAddresses == 2, nil
+	}); err != nil {
+		t.Fatalf("dataset never hot-reloaded: %v", err)
 	}
 
 	// The manifest must carry the reload status.

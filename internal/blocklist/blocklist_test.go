@@ -381,6 +381,50 @@ func TestParseNATedList(t *testing.T) {
 	}
 }
 
+// TestWriteNATedListRoundTrip pins the writer the crawler CLI and the e2e
+// shard merge rely on: deterministic (sorted) output, the documented floor
+// of 2 users, and lossless reparse through ParseNATedList.
+func TestWriteNATedListRoundTrip(t *testing.T) {
+	users := map[iputil.Addr]int{
+		iputil.MustParseAddr("100.64.0.9"): 7,
+		iputil.MustParseAddr("100.64.0.1"): 0, // floors to 2 on write
+		iputil.MustParseAddr("10.1.2.3"):   2,
+	}
+	var buf strings.Builder
+	if err := WriteNATedList(&buf, users, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "# unit test\n") {
+		t.Errorf("header missing:\n%s", text)
+	}
+	if i, j := strings.Index(text, "10.1.2.3"), strings.Index(text, "100.64.0.1"); i < 0 || j < 0 || i > j {
+		t.Errorf("output not sorted by address:\n%s", text)
+	}
+
+	back, err := ParseNATedList(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("written list does not reparse: %v\n%s", err, text)
+	}
+	want := map[string]int{"100.64.0.9": 7, "100.64.0.1": 2, "10.1.2.3": 2}
+	if len(back) != len(want) {
+		t.Fatalf("round-trip entries = %d, want %d", len(back), len(want))
+	}
+	for a, u := range want {
+		if back[iputil.MustParseAddr(a)] != u {
+			t.Errorf("%s round-tripped to %d, want %d", a, back[iputil.MustParseAddr(a)], u)
+		}
+	}
+
+	var again strings.Builder
+	if err := WriteNATedList(&again, users, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("WriteNATedList is not deterministic for the same map")
+	}
+}
+
 func TestParsePrefixList(t *testing.T) {
 	in := "# prefixes\n10.0.0.0/24\n192.0.2.0/24\n"
 	ps, err := ParsePrefixList(strings.NewReader(in))

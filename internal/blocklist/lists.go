@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -38,6 +39,34 @@ func ParseNATedList(r io.Reader) (map[iputil.Addr]int, error) {
 		out[addr] = users
 	}
 	return out, sc.Err()
+}
+
+// WriteNATedList writes a NATed-address list in the "addr<TAB>users" form
+// ParseNATedList reads back, sorted by address with an optional header
+// comment. Entries whose bound is below the confirmation minimum of 2 are
+// clamped up so a round trip never loses an address.
+func WriteNATedList(w io.Writer, users map[iputil.Addr]int, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", header); err != nil {
+			return err
+		}
+	}
+	addrs := make([]iputil.Addr, 0, len(users))
+	for a := range users {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		n := users[a]
+		if n < 2 {
+			n = 2
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", a, n); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // ParsePrefixList reads one CIDR prefix per line ('#' comments allowed) —

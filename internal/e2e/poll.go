@@ -1,0 +1,56 @@
+package e2e
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"time"
+)
+
+// WaitFor polls cond every interval until it reports done, returns an error,
+// or timeout elapses — the harness's readiness primitive. Unlike a bare
+// sleep it fails fast on a terminal error (a process that already exited)
+// and succeeds as soon as the condition lands, so tests neither flake under
+// load nor idle longer than they must.
+func WaitFor(timeout, interval time.Duration, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done, err := cond()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("e2e: condition not met within %v", timeout)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// WaitHTTPOK polls url until a GET answers 200 — readiness for an HTTP
+// server whose listener is up but whose accept loop may not be.
+func WaitHTTPOK(url string, timeout time.Duration) error {
+	return WaitFor(timeout, 10*time.Millisecond, func() (bool, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return false, nil // not accepting yet; keep polling
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK, nil
+	})
+}
+
+// baseURLRe matches the loopback listen URL a server prints on startup.
+var baseURLRe = regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+
+// FindBaseURL extracts the first loopback base URL from captured output.
+func FindBaseURL(output string) (string, bool) {
+	if m := baseURLRe.FindStringSubmatch(output); m != nil {
+		return "http://" + m[1], true
+	}
+	return "", false
+}

@@ -1,0 +1,128 @@
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// logBuffer is a write-synchronized buffer: the process pumps output into it
+// from its own goroutine while tests read it for readiness and assertions.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Proc is one spawned pipeline process with captured output and a managed
+// lifecycle: readiness is polled on its output or endpoints, shutdown is a
+// graceful signal with a kill fallback, and the full logs survive for
+// failure reports.
+type Proc struct {
+	Name string
+	Args []string
+
+	cmd    *exec.Cmd
+	stdout logBuffer
+	stderr logBuffer
+
+	done    chan struct{}
+	waitErr error
+}
+
+// StartProc spawns bin with args, capturing both output streams.
+func StartProc(name, bin string, args ...string) (*Proc, error) {
+	p := &Proc{Name: name, Args: args, done: make(chan struct{})}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = &p.stdout
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("e2e: starting %s: %w", name, err)
+	}
+	go func() {
+		p.waitErr = p.cmd.Wait()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// Stdout returns everything the process has written to stdout so far.
+func (p *Proc) Stdout() string { return p.stdout.String() }
+
+// Stderr returns everything the process has written to stderr so far.
+func (p *Proc) Stderr() string { return p.stderr.String() }
+
+// Exited reports whether the process has terminated.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitExit blocks until the process exits on its own and returns its exit
+// error (nil for status 0), or an error if it outlives the timeout.
+func (p *Proc) WaitExit(timeout time.Duration) error {
+	select {
+	case <-p.done:
+		return p.waitErr
+	case <-time.After(timeout):
+		return fmt.Errorf("e2e: %s still running after %v", p.Name, timeout)
+	}
+}
+
+// Stop drains the process gracefully: SIGTERM, then SIGKILL once grace
+// elapses. It returns the exit error only when the process had already
+// failed on its own — a signal-induced exit is a clean stop.
+func (p *Proc) Stop(grace time.Duration) error {
+	select {
+	case <-p.done:
+		return p.waitErr
+	default:
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+		return nil
+	case <-time.After(grace):
+		_ = p.cmd.Process.Kill()
+		<-p.done
+		return fmt.Errorf("e2e: %s did not drain within %v; killed", p.Name, grace)
+	}
+}
+
+// SaveLogs writes the captured streams under dir as <name>.stdout.log and
+// <name>.stderr.log — the artifact bundle CI uploads on failure.
+func (p *Proc) SaveLogs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for suffix, text := range map[string]string{
+		"stdout": p.Stdout(),
+		"stderr": p.Stderr(),
+	} {
+		path := filepath.Join(dir, fmt.Sprintf("%s.%s.log", p.Name, suffix))
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	CleanupBinaries()
+	os.Exit(code)
+}
+
+// TestE2EScenarios is the scenario suite: every entry boots the full
+// pipeline as processes — sharded blcrawl fleet, blgen/bldetect dataset
+// steps, blserve — and asserts on the served API, cross-checked against the
+// regenerated ground-truth world.
+func TestE2EScenarios(t *testing.T) {
+	var su Suite
+
+	su.Add(Scenario{
+		Name:        "baseline",
+		CrawlHours:  12,
+		Description: "fault-free two-shard crawl; served verdicts must match ground truth",
+		Seed:        42,
+		Crawlers:    2,
+		Smoke:       true,
+		Run:         checkHealthyStack(""),
+	})
+	su.Add(Scenario{
+		Name:        "bursty-loss",
+		CrawlHours:  12,
+		Description: "crawl under bursty datagram loss; precision must survive end to end",
+		Seed:        43,
+		Crawlers:    2,
+		Faults:      "bursty",
+		Run:         checkHealthyStack("bursty"),
+	})
+	su.Add(Scenario{
+		Name:        "blackout",
+		CrawlHours:  12,
+		Description: "crawl through a total connectivity blackout window",
+		// Seed chosen so the tiny test-scale world still yields a dynamic
+		// pool for bldetect (not every seed does at scale 0.05).
+		Seed:     49,
+		Crawlers: 2,
+		Faults:   "blackout",
+		Run:      checkHealthyStack("blackout"),
+	})
+	su.Add(Scenario{
+		Name:        "restart-storm",
+		CrawlHours:  12,
+		Description: "crawl through mass peer restarts; port churn must not poison the list",
+		Seed:        45,
+		Crawlers:    3,
+		Faults:      "storm",
+		Run:         checkHealthyStack("storm"),
+	})
+	su.Add(Scenario{
+		Name:        "watch-reload",
+		Description: "identical hot reloads keep the ETag; a grown dataset swaps in live",
+		Seed:        46,
+		Watch:       true,
+		Smoke:       true,
+		Run:         runWatchReload,
+	})
+	su.Add(Scenario{
+		Name:        "watch-bad-reload",
+		Description: "a corrupt input mid-run must not dent the served snapshot",
+		Seed:        47,
+		Watch:       true,
+		Smoke:       true,
+		Run:         runWatchBadReload,
+	})
+	su.Add(Scenario{
+		Name:        "check-load",
+		CrawlHours:  12,
+		Description: "concurrent load on /v1/check; zero errors, latency recorded to BENCH_e2e.json",
+		Seed:        48,
+		Crawlers:    2,
+		Run:         runCheckLoad,
+	})
+
+	su.Run(t)
+}
+
+// checkHealthyStack is the shared assertion body for crawl scenarios: the
+// served dataset is non-trivial, every served verdict survives the oracle,
+// and /metrics plus /debug/manifest reflect the scenario's fault catalogue.
+func checkHealthyStack(faults string) func(*Stack) error {
+	return func(s *Stack) error {
+		stats, err := s.Stats()
+		if err != nil {
+			return err
+		}
+		if stats.Empty {
+			return fmt.Errorf("served dataset is empty")
+		}
+		if stats.DynamicPrefixes == 0 {
+			return fmt.Errorf("no dynamic prefixes served (bldetect produced nothing)")
+		}
+		if faults == "" && stats.NATedAddresses == 0 {
+			return fmt.Errorf("fault-free crawl detected no NATed addresses")
+		}
+		if err := s.CheckServedAgainstOracle(); err != nil {
+			return err
+		}
+		m, err := s.Manifest()
+		if err != nil {
+			return err
+		}
+		if m.FaultScenario != faults {
+			return fmt.Errorf("manifest fault_scenario = %q, want %q", m.FaultScenario, faults)
+		}
+		if m.Serving == nil {
+			return fmt.Errorf("manifest carries no serving status")
+		}
+		if m.Serving.Reloads != 0 {
+			return fmt.Errorf("fresh server reports %d reloads", m.Serving.Reloads)
+		}
+		metrics, err := s.Metrics()
+		if err != nil {
+			return err
+		}
+		if v, ok := MetricValue(metrics, "wall_dataset_reloads_total"); !ok || v != 0 {
+			return fmt.Errorf("wall_dataset_reloads_total = %v (present=%v), want 0", v, ok)
+		}
+		if !strings.Contains(metrics, "wall_api_requests_total") {
+			return fmt.Errorf("metrics do not count api requests:\n%s", metrics)
+		}
+		return nil
+	}
+}
+
+// waitReloads polls the manifest until the server has seen want reloads.
+func waitReloads(s *Stack, want int64) error {
+	return WaitFor(10*time.Second, s.Cfg.WatchInterval, func() (bool, error) {
+		m, err := s.Manifest()
+		if err != nil {
+			return false, err
+		}
+		return m.Serving != nil && m.Serving.Reloads >= want, nil
+	})
+}
+
+func runWatchReload(s *Stack) error {
+	m, err := s.Manifest()
+	if err != nil {
+		return err
+	}
+	if m.Serving == nil || !m.Serving.Watching {
+		return fmt.Errorf("blserve -watch does not report watching")
+	}
+	etag, err := s.ETag("/v1/list")
+	if err != nil {
+		return err
+	}
+
+	// A byte-identical rewrite trips the watcher but must compile to the
+	// same dataset: the ETag pins that across as many reloads as we force.
+	for i := int64(1); i <= 2; i++ {
+		if err := s.TouchNATedInput(); err != nil {
+			return err
+		}
+		if err := waitReloads(s, i); err != nil {
+			return fmt.Errorf("reload %d never landed: %w", i, err)
+		}
+		again, err := s.ETag("/v1/list")
+		if err != nil {
+			return err
+		}
+		if again != etag {
+			return fmt.Errorf("identical reload %d changed the ETag %s -> %s", i, etag, again)
+		}
+	}
+
+	// Grow the dataset with a true gateway the crawl may have missed; the
+	// swap must be visible in verdicts, stats and a fresh ETag.
+	users, err := s.ServedNATedInput()
+	if err != nil {
+		return err
+	}
+	added := iputil.Addr(0)
+	for addr, truth := range s.World.NATByIP {
+		if _, served := users[addr]; !served && truth.BTUsers >= 2 {
+			added = addr
+			break
+		}
+	}
+	if added == 0 {
+		return fmt.Errorf("no unserved NAT gateway available to add")
+	}
+	users[added] = 2
+	if err := s.RewriteNATedInput(users, "grown by watch-reload scenario"); err != nil {
+		return err
+	}
+	if err := waitReloads(s, 3); err != nil {
+		return fmt.Errorf("grow reload never landed: %w", err)
+	}
+	v, err := s.Verdict(added.String())
+	if err != nil {
+		return err
+	}
+	if !v.NATed || v.Users != 2 {
+		return fmt.Errorf("added gateway %s served as %+v, want nated users=2", added, v)
+	}
+	stats, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	if stats.NATedAddresses != len(users) {
+		return fmt.Errorf("stats report %d NATed addresses after grow, want %d",
+			stats.NATedAddresses, len(users))
+	}
+	grown, err := s.ETag("/v1/list")
+	if err != nil {
+		return err
+	}
+	if grown == etag {
+		return fmt.Errorf("dataset grew but /v1/list ETag did not change")
+	}
+	return s.CheckServedAgainstOracle()
+}
+
+// runWatchBadReload corrupts the NATed input mid-run: the old snapshot must
+// keep serving, the manifest must record the failed reload, and the reload
+// counter must not advance. Restoring the file heals the server.
+func runWatchBadReload(s *Stack) error {
+	etag, err := s.ETag("/v1/list")
+	if err != nil {
+		return err
+	}
+	statsBefore, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	good, err := s.ServedNATedInput()
+	if err != nil {
+		return err
+	}
+
+	if err := s.CorruptNATedInput(); err != nil {
+		return err
+	}
+	err = WaitFor(10*time.Second, s.Cfg.WatchInterval, func() (bool, error) {
+		m, merr := s.Manifest()
+		if merr != nil {
+			return false, merr
+		}
+		return m.Serving != nil && m.Serving.LastError != "", nil
+	})
+	if err != nil {
+		return fmt.Errorf("manifest never recorded the failed reload: %w", err)
+	}
+
+	m, err := s.Manifest()
+	if err != nil {
+		return err
+	}
+	if m.Serving.Reloads != 0 {
+		return fmt.Errorf("failed reload advanced the reload count to %d", m.Serving.Reloads)
+	}
+	metrics, err := s.Metrics()
+	if err != nil {
+		return err
+	}
+	if v, ok := MetricValue(metrics, "wall_dataset_reloads_total"); !ok || v != 0 {
+		return fmt.Errorf("wall_dataset_reloads_total = %v after failed reload, want 0", v)
+	}
+	after, err := s.ETag("/v1/list")
+	if err != nil {
+		return err
+	}
+	if after != etag {
+		return fmt.Errorf("failed reload changed the served list ETag %s -> %s", etag, after)
+	}
+	statsAfter, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	if statsAfter != statsBefore {
+		return fmt.Errorf("failed reload changed stats %+v -> %+v", statsBefore, statsAfter)
+	}
+
+	// Heal: restoring a parseable file swaps a fresh dataset in and clears
+	// the recorded error.
+	if err := s.RewriteNATedInput(good, "restored by watch-bad-reload scenario"); err != nil {
+		return err
+	}
+	if err := waitReloads(s, 1); err != nil {
+		return fmt.Errorf("healing reload never landed: %w", err)
+	}
+	m, err = s.Manifest()
+	if err != nil {
+		return err
+	}
+	if m.Serving.LastError != "" {
+		return fmt.Errorf("healed server still reports reload error %q", m.Serving.LastError)
+	}
+	return s.CheckServedAgainstOracle()
+}
+
+// runCheckLoad drives the zero-alloc check path concurrently and records the
+// latency distribution to the e2e bench file.
+func runCheckLoad(s *Stack) error {
+	served, err := s.ServedNATed()
+	if err != nil {
+		return err
+	}
+	if len(served) == 0 {
+		return fmt.Errorf("nothing served to load against")
+	}
+	targets := append(served, "203.0.113.99", "192.0.2.1", "8.8.8.8")
+
+	lg := LoadGen{
+		BaseURL:     s.BaseURL,
+		Targets:     targets,
+		Concurrency: 8,
+		Duration:    3 * time.Second,
+	}
+	if s.Short {
+		lg.Concurrency = 4
+		lg.Duration = time.Second
+	}
+	res, err := lg.Run()
+	if err != nil {
+		return err
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("load run saw %d/%d errors", res.Errors, res.Requests)
+	}
+	if res.Requests == 0 {
+		return fmt.Errorf("load run completed no requests")
+	}
+
+	out := os.Getenv("E2E_BENCH_OUT")
+	if out == "" {
+		out = filepath.Join(RepoRoot(), "BENCH_e2e.json")
+	}
+	rec := BenchRecord{
+		Scenario:    "check-load",
+		When:        time.Now().UTC().Format(time.RFC3339),
+		Seed:        s.Cfg.Seed,
+		Scale:       s.Cfg.Scale,
+		Concurrency: lg.Concurrency,
+		DurationSec: lg.Duration.Seconds(),
+		LoadResult:  res,
+	}
+	return AppendBenchRecord(out, rec)
+}

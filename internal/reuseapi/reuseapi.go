@@ -19,6 +19,7 @@ package reuseapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sort"
 	"strings"
@@ -291,7 +292,13 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(ips) > MaxBatchIPs {
-		writeError(w, http.StatusRequestEntityTooLarge, "too many addresses in batch", "")
+		// A client exceeding the documented entry limit sent an invalid
+		// batch, not an oversized byte stream: answer 400 like every other
+		// protocol violation, with the documented Error shape naming the
+		// offending count. (413 stays reserved for MaxBatchBytes overruns,
+		// which MaxBytesReader raises above.)
+		writeError(w, http.StatusBadRequest, "too many addresses in batch",
+			fmt.Sprintf("%d addresses exceed the limit of %d", len(ips), MaxBatchIPs))
 		return
 	}
 	snap := s.snap.Load()

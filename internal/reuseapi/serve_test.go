@@ -314,20 +314,53 @@ func TestBatchCheckErrors(t *testing.T) {
 		}
 	}
 
-	// Too many entries.
-	many := make([]string, MaxBatchIPs+1)
-	for i := range many {
-		many[i] = "8.8.8.8"
+}
+
+// TestBatchCheckLimitBoundary is the off-by-one regression test for the
+// MaxBatchIPs guard: a batch of exactly MaxBatchIPs entries must succeed
+// with a full verdict array, while one more entry is a protocol violation —
+// a 400 whose body is the documented JSON Error shape naming the count.
+func TestBatchCheckLimitBoundary(t *testing.T) {
+	_, ts := testServer(t)
+
+	exact := make([]string, MaxBatchIPs)
+	for i := range exact {
+		exact[i] = "8.8.8.8"
 	}
-	body, _ := json.Marshal(many)
+	body, _ := json.Marshal(exact)
 	resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	var verdicts []Verdict
+	err = json.NewDecoder(resp.Body).Decode(&verdicts)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Errorf("oversized batch status = %d, want 413", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("batch of exactly MaxBatchIPs: status = %d, decode err = %v", resp.StatusCode, err)
+	}
+	if len(verdicts) != MaxBatchIPs {
+		t.Fatalf("batch of exactly MaxBatchIPs returned %d verdicts", len(verdicts))
+	}
+
+	over := append(exact, "8.8.8.8")
+	body, _ = json.Marshal(over)
+	resp, err = http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batch of MaxBatchIPs+1: status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("batch-limit error Content-Type = %q", ct)
+	}
+	var apiErr Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("batch-limit error body is not the Error shape: %v", err)
+	}
+	if apiErr.Error == "" || !strings.Contains(apiErr.Detail, "10001") || !strings.Contains(apiErr.Detail, "10000") {
+		t.Errorf("batch-limit error body = %+v, want the offending and allowed counts in detail", apiErr)
 	}
 }
 

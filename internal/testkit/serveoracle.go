@@ -1,0 +1,76 @@
+package testkit
+
+import (
+	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/reuseapi"
+)
+
+// CheckServedVerdicts verifies /v1/check answers pulled from a live blserve
+// against the generated world's ground truth — the API-level twin of
+// CheckNATObservations and CheckDynamicDetection, for the end-to-end harness
+// where the verdicts have travelled through crawler processes, on-disk list
+// files, a dataset compile and the HTTP surface.
+//
+// Per verdict:
+//   - internal consistency: Reused must equal NATed || Dynamic, Advice must
+//     be present, Users only accompanies NATed, Prefix only Dynamic and must
+//     cover the address.
+//   - NAT precision is per-address: a NATed verdict must name a real gateway
+//     and its user count must be a valid lower bound (>= 2, <= the true
+//     BitTorrent population behind the gateway).
+//
+// Dynamic-pool precision is banded over the whole sample, like the RIPE
+// oracle: at least MinRIPEPrecision of the dynamic verdicts must fall inside
+// genuinely dynamic pools.
+func (o Oracle) CheckServedVerdicts(vs []reuseapi.Verdict) error {
+	dynamic, trulyDynamic := 0, 0
+	for _, v := range vs {
+		addr, err := iputil.ParseAddr(v.IP)
+		if err != nil {
+			return violatef("served-verdict", "verdict carries unparseable ip %q: %v", v.IP, err)
+		}
+		if v.Reused != (v.NATed || v.Dynamic) {
+			return violatef("served-verdict", "%s: reused=%v disagrees with nated=%v dynamic=%v",
+				v.IP, v.Reused, v.NATed, v.Dynamic)
+		}
+		if v.Advice == "" {
+			return violatef("served-verdict", "%s: verdict without advice", v.IP)
+		}
+		if !v.NATed && v.Users != 0 {
+			return violatef("served-verdict", "%s: non-NATed verdict carries users=%d", v.IP, v.Users)
+		}
+		if v.NATed {
+			truth, ok := o.World.NATByIP[addr]
+			if !ok {
+				return violatef("served-nat-precision", "served NATed %s is not a NAT gateway", v.IP)
+			}
+			if v.Users < 2 || v.Users > truth.BTUsers {
+				return violatef("served-nat-precision",
+					"gateway %s served with users=%d outside [2, %d]", v.IP, v.Users, truth.BTUsers)
+			}
+		}
+		if v.Dynamic {
+			p, err := iputil.ParsePrefix(v.Prefix)
+			if err != nil {
+				return violatef("served-verdict", "%s: dynamic verdict with bad prefix %q: %v", v.IP, v.Prefix, err)
+			}
+			if !p.Contains(addr) {
+				return violatef("served-verdict", "%s: covering prefix %s does not cover it", v.IP, v.Prefix)
+			}
+			dynamic++
+			if o.World.TrueAnyDynamic.Covers(addr) {
+				trulyDynamic++
+			}
+		} else if v.Prefix != "" {
+			return violatef("served-verdict", "%s: non-dynamic verdict carries prefix %q", v.IP, v.Prefix)
+		}
+	}
+	if dynamic > 0 {
+		if prec := float64(trulyDynamic) / float64(dynamic); prec < MinRIPEPrecision {
+			return violatef("served-dynamic-precision",
+				"only %d/%d served dynamic verdicts fall in genuinely dynamic pools (%.2f < %.2f)",
+				trulyDynamic, dynamic, prec, MinRIPEPrecision)
+		}
+	}
+	return nil
+}
