@@ -9,6 +9,7 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags "e2e slow" ./...
 
 test:
 	$(GO) test -race ./...

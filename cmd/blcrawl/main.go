@@ -10,10 +10,13 @@
 // address is not possible on loopback, so the real mode demonstrates the
 // crawler against live sockets and reports discovery statistics.
 //
-// A fleet of blcrawl processes can split one world between them: -shard i/N
-// restricts this instance's probing scope to the i-th of N address shards
-// (the world itself is regenerated identically from the seed in every
-// process), so the union of the shards' -out files is a full-world dataset.
+// A fleet of blcrawl processes can split one world between them: -shard I/N
+// (1-based, 1 <= I <= N) restricts this instance's probing scope to the I-th
+// of N address shards (the world itself is regenerated identically from the
+// seed in every process), so the union of the shards' -out files is a
+// full-world dataset. A malformed or out-of-range -shard is a usage error
+// (exit 2): a fleet member crawling the wrong scope would silently hole the
+// merged dataset.
 //
 // Usage:
 //
@@ -66,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay   = fs.String("replay", "", "post-process an existing message log instead of crawling")
 		window   = fs.Duration("window", 30*time.Second, "ping-window for -replay scoring")
 		faultScn = fs.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
-		shard    = fs.String("shard", "", "crawl only the I-th of N address shards, as I/N (simulated mode)")
+		shard    = fs.String("shard", "", "crawl only the I-th of N address shards, as I/N with 1 <= I <= N (simulated mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,8 +85,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	shardIdx, shardN, err := parseShard(*shard)
 	if err != nil {
+		// A wrong shard scope is a usage error, not a runtime failure: treat
+		// it like any other bad flag value (exit 2 with usage) so fleet
+		// launchers fail loudly instead of crawling a hole into the dataset.
 		fmt.Fprintln(stderr, "blcrawl:", err)
-		return 1
+		fs.Usage()
+		return 2
 	}
 	switch {
 	case *replay != "":
@@ -121,7 +128,9 @@ func runReplay(path string, window time.Duration, stdout io.Writer) error {
 }
 
 // parseShard parses the -shard value: empty means "no sharding", otherwise
-// "I/N" with 0 <= I < N selects the I-th of N address shards.
+// "I/N" with 1 <= I <= N selects the I-th of N address shards (1-based, the
+// way fleet launchers number members). The returned idx is 0-based for the
+// modulo scope check. Rejected: malformed strings, I < 1, N < 1, I > N.
 func parseShard(s string) (idx, n int, err error) {
 	if s == "" {
 		return 0, 1, nil
@@ -133,10 +142,10 @@ func parseShard(s string) (idx, n int, err error) {
 			n, err = strconv.Atoi(ns)
 		}
 	}
-	if !ok || err != nil || n < 1 || idx < 0 || idx >= n {
-		return 0, 0, fmt.Errorf("invalid -shard %q: want I/N with 0 <= I < N", s)
+	if !ok || err != nil || n < 1 || idx < 1 || idx > n {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want I/N with 1 <= I <= N", s)
 	}
-	return idx, n, nil
+	return idx - 1, n, nil
 }
 
 func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, shardIdx, shardN int, stdout, stderr io.Writer) (err error) {

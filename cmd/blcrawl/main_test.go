@@ -18,13 +18,18 @@ func TestParseShard(t *testing.T) {
 		wantErr bool
 	}{
 		{"", 0, 1, false},
-		{"0/1", 0, 1, false},
-		{"2/4", 2, 4, false},
-		{"4/4", 0, 0, true}, // index out of range
+		{"1/1", 0, 1, false}, // 1-based on the wire, 0-based internally
+		{"2/4", 1, 4, false},
+		{"4/4", 3, 4, false},
+		{"0/4", 0, 0, true}, // I < 1
+		{"5/4", 0, 0, true}, // I > N
 		{"-1/4", 0, 0, true},
 		{"1", 0, 0, true},
 		{"a/b", 0, 0, true},
-		{"1/0", 0, 0, true},
+		{"1/a", 0, 0, true},
+		{"1/0", 0, 0, true}, // N < 1
+		{"1/-2", 0, 0, true},
+		{"1/2/3", 0, 0, true},
 	} {
 		idx, n, err := parseShard(tc.in)
 		if tc.wantErr {
@@ -39,10 +44,21 @@ func TestParseShard(t *testing.T) {
 	}
 }
 
+// TestRunBadShard pins the usage-error contract: any rejected -shard exits
+// 2 (like other flag errors) and prints both the offending value and the
+// usage text, so a fleet launcher's log explains itself.
 func TestRunBadShard(t *testing.T) {
-	var out, errb bytes.Buffer
-	if code := run([]string{"-shard", "3/2"}, &out, &errb); code != 1 {
-		t.Fatalf("bad -shard exited %d, want 1", code)
+	for _, bad := range []string{"3/2", "0/2", "x/y", "1/0", "2"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-shard", bad}, &out, &errb); code != 2 {
+			t.Errorf("-shard %s exited %d, want 2", bad, code)
+		}
+		if !strings.Contains(errb.String(), "invalid -shard") {
+			t.Errorf("-shard %s did not report the bad value:\n%s", bad, errb.String())
+		}
+		if !strings.Contains(errb.String(), "Usage of blcrawl") {
+			t.Errorf("-shard %s did not print usage:\n%s", bad, errb.String())
+		}
 	}
 }
 
@@ -77,8 +93,8 @@ func TestShardedCrawlsUnionToFullCrawl(t *testing.T) {
 	}
 
 	full := crawl("full.txt")
-	shard0 := crawl("s0.txt", "-shard", "0/2")
-	shard1 := crawl("s1.txt", "-shard", "1/2")
+	shard0 := crawl("s0.txt", "-shard", "1/2")
+	shard1 := crawl("s1.txt", "-shard", "2/2")
 
 	if len(full) == 0 {
 		t.Fatal("unsharded crawl detected nothing; scenario operating point is broken")

@@ -19,6 +19,13 @@
 // slow clients, -watch polls the input files and atomically swaps in a
 // freshly compiled dataset when they change, and SIGINT/SIGTERM drain
 // in-flight requests for up to -shutdown-grace before exiting.
+//
+// -shed turns on overload resilience (internal/shed): per-class admission
+// gates with CoDel-style load shedding, optional per-client rate limiting
+// (-shed-rate), and degraded-mode serving observable at /readyz — under
+// sustained overload or a failed -watch reload the server sheds expensive
+// work and reports not-ready so load balancers drain it. Off by default:
+// without -shed every response is byte-identical to earlier builds.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/reuseapi"
+	"github.com/reuseblock/reuseblock/internal/shed"
 )
 
 func main() {
@@ -91,6 +99,23 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		watchInterval = fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 		datasetFaults = fs.String("dataset-faults", "", "fault scenario the served dataset was crawled under (provenance label surfaced in /debug/manifest)")
 
+		shedOn         = fs.Bool("shed", false, "enable overload resilience: admission control, load shedding, degraded mode, /healthz + /readyz")
+		shedCheap      = fs.Int("shed-cheap-concurrency", 256, "concurrent requests admitted on the cheap class (single checks, stats)")
+		shedHeavy      = fs.Int("shed-heavy-concurrency", 32, "concurrent requests admitted on the heavy class (list, prefixes, batch checks)")
+		shedQueue      = fs.Int("shed-queue", 128, "waiters allowed per class before arrivals are shed outright")
+		shedTarget     = fs.Duration("shed-target", 5*time.Millisecond, "queue-sojourn target; sustained waits above it trigger CoDel shedding")
+		shedInterval   = fs.Duration("shed-interval", 100*time.Millisecond, "how long sojourn must exceed the target before shedding starts")
+		shedMaxWait    = fs.Duration("shed-max-wait", 50*time.Millisecond, "hard cap on any request's wait for an admission slot")
+		shedRate       = fs.Float64("shed-rate", 0, "per-client token refill rate in requests/second (0 disables rate limiting)")
+		shedBurst      = fs.Int("shed-burst", 0, "per-client token bucket size (default 2x -shed-rate)")
+		shedPrefixBits = fs.Int("shed-client-prefix-bits", 32, "aggregate client keys to this prefix length (one CGNAT pool, one budget)")
+		shedForwarded  = fs.Bool("shed-trust-forwarded", false, "key clients by the first X-Forwarded-For hop (only behind a trusted load balancer)")
+		shedClients    = fs.Int("shed-max-clients", 4096, "LRU bound on tracked rate-limit clients")
+		shedDegrade    = fs.Duration("shed-degrade-after", time.Second, "sustained overload before the server enters degraded mode")
+		shedRecover    = fs.Duration("shed-recover-after", 2*time.Second, "sustained calm before a degraded server recovers")
+		shedRetryAfter = fs.Duration("shed-retry-after", time.Second, "Retry-After delay advertised on shed and rate-limited responses")
+		shedBatch      = fs.Int("shed-degraded-batch", 256, "batch-check size clamp while degraded")
+
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "per-connection read (and header) timeout")
 		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "per-response write timeout")
 		idleTimeout   = fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -128,14 +153,29 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	srv := reuseapi.NewServer(data)
 	srv.Obs = reg
 	srv.EnablePprof = *pprofOn
+	var ctrl *shed.Controller
+	if *shedOn {
+		ctrl = shed.New(shed.Config{
+			CheapConcurrency: *shedCheap, HeavyConcurrency: *shedHeavy, QueueLimit: *shedQueue,
+			Target: *shedTarget, Interval: *shedInterval, MaxWait: *shedMaxWait,
+			RatePerClient: *shedRate, Burst: *shedBurst,
+			ClientPrefixBits: *shedPrefixBits, TrustForwarded: *shedForwarded, MaxClients: *shedClients,
+			DegradeAfter: *shedDegrade, RecoverAfter: *shedRecover, RetryAfter: *shedRetryAfter,
+			DegradedMaxBatchIPs: *shedBatch,
+		}, reg)
+		srv.Shed = ctrl
+	}
 
-	rel := newReloader(opts, srv, reg, data.Generated)
+	rel := newReloader(opts, srv, reg, ctrl, data.Generated)
 	// Serve the manifest with a live metric snapshot and the reload status
 	// so request counters and dataset swaps since startup are visible too.
 	srv.Manifest = func() *obs.Manifest {
 		m := *manifest
 		m.Metrics = reg.Snapshot(true)
 		m.Serving = rel.status()
+		if ctrl != nil {
+			m.Serving.Overload = ctrl.Status()
+		}
 		return &m
 	}
 
@@ -195,6 +235,9 @@ type reloader struct {
 	opts    serveOptions
 	srv     *reuseapi.Server
 	reloads *obs.Counter
+	// shed, when non-nil, is degraded immediately on a failed reload (the
+	// served snapshot is stale) and allowed to recover once a reload lands.
+	shed *shed.Controller
 
 	mu     sync.Mutex
 	st     obs.ServingStatus
@@ -207,11 +250,12 @@ type fileStamp struct {
 	size  int64
 }
 
-func newReloader(opts serveOptions, srv *reuseapi.Server, reg *obs.Registry, generated time.Time) *reloader {
+func newReloader(opts serveOptions, srv *reuseapi.Server, reg *obs.Registry, ctrl *shed.Controller, generated time.Time) *reloader {
 	r := &reloader{
 		opts:    opts,
 		srv:     srv,
 		reloads: reg.Counter(obs.WallPrefix + "dataset_reloads_total"),
+		shed:    ctrl,
 		mtimes:  map[string]fileStamp{},
 	}
 	r.st.Watching = opts.watch
@@ -280,6 +324,9 @@ func (r *reloader) checkOnce() {
 	}
 	r.srv.Update(data)
 	r.reloads.Inc()
+	if r.shed != nil {
+		r.shed.SetReloadFailed(false)
+	}
 	r.mu.Lock()
 	for f, s := range stamps {
 		r.mtimes[f] = s
@@ -295,6 +342,9 @@ func (r *reloader) setError(err error) {
 	r.mu.Lock()
 	r.st.LastError = err.Error()
 	r.mu.Unlock()
+	if r.shed != nil {
+		r.shed.SetReloadFailed(true)
+	}
 }
 
 // status returns a copy for the manifest.

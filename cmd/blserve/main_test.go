@@ -314,6 +314,116 @@ func TestServeWatchReloadSmoke(t *testing.T) {
 	}
 }
 
+// getJSONStatus fetches path and returns the HTTP status plus raw body.
+func getJSONStatus(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServeShedSmoke boots the server with -shed and checks the resilience
+// surface is mounted: health probes answer, and the manifest carries the
+// overload status block.
+func TestServeShedSmoke(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, _, _ := startServe(t, []string{"-nated", nated, "-shed"})
+	defer cancel()
+
+	if code, body := getJSONStatus(t, base, "/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := getJSONStatus(t, base, "/readyz"); code != 200 || !strings.Contains(body, `"normal"`) {
+		t.Errorf("/readyz = %d %q", code, body)
+	}
+	code, body := getJSONStatus(t, base, "/debug/manifest")
+	if code != 200 {
+		t.Fatalf("/debug/manifest = %d", code)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving == nil || m.Serving.Overload == nil || !m.Serving.Overload.Enabled {
+		t.Fatalf("manifest carries no overload status: %+v", m.Serving)
+	}
+	if m.Serving.Overload.Mode != "normal" {
+		t.Errorf("idle server mode = %q, want normal", m.Serving.Overload.Mode)
+	}
+}
+
+// TestServeShedOffHidesProbes pins the off-by-default surface: without
+// -shed the probe endpoints do not exist.
+func TestServeShedOffHidesProbes(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, _, _ := startServe(t, []string{"-nated", nated})
+	defer cancel()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if code, _ := getJSONStatus(t, base, path); code != 404 {
+			t.Errorf("%s without -shed = %d, want 404", path, code)
+		}
+	}
+}
+
+// TestServeShedReloadFailureFlipsReadyz drives the degraded-mode loop over
+// a real -watch server: corrupting the input flips /readyz to 503, healing
+// the file recovers it to 200.
+func TestServeShedReloadFailureFlipsReadyz(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, _, _ := startServe(t, []string{
+		"-nated", nated, "-watch", "-watch-interval", "30ms",
+		"-shed", "-shed-recover-after", "100ms",
+	})
+	defer cancel()
+
+	if code, _ := getJSONStatus(t, base, "/readyz"); code != 200 {
+		t.Fatalf("fresh /readyz = %d, want 200", code)
+	}
+	if err := os.WriteFile(nated, []byte("not-an-ip at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2e.WaitFor(10*time.Second, 20*time.Millisecond, func() (bool, error) {
+		code, _ := getJSONStatus(t, base, "/readyz")
+		return code == 503, nil
+	}); err != nil {
+		t.Fatalf("/readyz never flipped to 503 after the failed reload: %v", err)
+	}
+
+	// Heal: a parseable rewrite reloads, clears the failure, and readiness
+	// recovers after the calm window.
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n198.51.100.9\t44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2e.WaitFor(10*time.Second, 20*time.Millisecond, func() (bool, error) {
+		code, _ := getJSONStatus(t, base, "/readyz")
+		return code == 200, nil
+	}); err != nil {
+		t.Fatalf("/readyz never recovered after healing: %v", err)
+	}
+	if st := getStats(t, base); st.NATedAddresses != 2 {
+		t.Errorf("healed dataset stats = %+v", st)
+	}
+}
+
 // TestReloaderKeepsServingOnBadFile pins the failure path: a reload attempt
 // against a now-malformed file must keep the old dataset serving and record
 // the error.
@@ -330,7 +440,7 @@ func TestReloaderKeepsServingOnBadFile(t *testing.T) {
 	}
 	srv := reuseapi.NewServer(data)
 	reg := obs.NewRegistry()
-	rel := newReloader(opts, srv, reg, data.Generated)
+	rel := newReloader(opts, srv, reg, nil, data.Generated)
 
 	if err := os.WriteFile(nated, []byte("not-an-ip is here\n"), 0o644); err != nil {
 		t.Fatal(err)

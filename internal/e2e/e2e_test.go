@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -85,6 +86,9 @@ func TestPercentileMs(t *testing.T) {
 	if got := percentileMs(one, 0.99); got != 7 {
 		t.Errorf("single-sample p99 = %v, want 7", got)
 	}
+	if got := percentileMs(sorted, 0.0001); got != 1 {
+		t.Errorf("tiny quantile must clamp to the first sample, got %v", got)
+	}
 }
 
 func TestMergeNATedShards(t *testing.T) {
@@ -152,7 +156,7 @@ func TestAppendBenchRecord(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("bench file holds %d records, want 2", len(recs))
 	}
-	if recs[0] != first || recs[1] != second {
+	if !reflect.DeepEqual(recs[0], first) || !reflect.DeepEqual(recs[1], second) {
 		t.Fatalf("bench file round-trip mismatch: %+v", recs)
 	}
 

@@ -88,6 +88,29 @@ func TestE2EScenarios(t *testing.T) {
 		Crawlers:    2,
 		Run:         runCheckLoad,
 	})
+	su.Add(Scenario{
+		Name:        "overload-flood",
+		CrawlHours:  12,
+		Description: "5x-capacity mixed flood; goodput stays in the SLO band, sheds are well-formed, /readyz cycles",
+		Seed:        50,
+		Crawlers:    2,
+		Smoke:       true,
+		Shed:        floodShedParams(),
+		Run:         runOverloadFlood,
+	})
+	su.Add(Scenario{
+		Name:        "overload-hotkey",
+		CrawlHours:  12,
+		Description: "CGNAT hot key against per-client rate limits; neighbors take no collateral damage",
+		Seed:        51,
+		Crawlers:    2,
+		Shed: &ShedParams{
+			Rate:           40,
+			Burst:          20,
+			TrustForwarded: true,
+		},
+		Run: runOverloadHotkey,
+	})
 
 	su.Run(t)
 }

@@ -25,6 +25,9 @@ type Scenario struct {
 	Crawlers   int
 	Faults     string
 	Watch      bool
+	// Shed, when non-nil, boots blserve with -shed and these admission
+	// parameters (overload-resilience scenarios).
+	Shed *ShedParams
 
 	// Smoke marks the scenario as part of the -short subset CI runs on
 	// every push; the rest only run in the nightly full suite.
@@ -56,6 +59,7 @@ func (sc Scenario) config(spec testkit.WorldSpec) StackConfig {
 		Crawlers:      sc.Crawlers,
 		Faults:        sc.Faults,
 		Watch:         sc.Watch,
+		Shed:          sc.Shed,
 	}
 }
 

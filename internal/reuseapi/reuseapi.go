@@ -28,6 +28,7 @@ import (
 
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/obs"
+	"github.com/reuseblock/reuseblock/internal/shed"
 )
 
 // Dataset is the served reuse knowledge. Build one from a Study's report or
@@ -84,6 +85,11 @@ type Server struct {
 	Manifest obs.ManifestSource
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
+	// Shed, when non-nil, turns on overload resilience: per-class admission
+	// gates, per-client rate limiting, degraded-mode serving, and the
+	// /healthz + /readyz probes. Nil (the default) keeps every serving path
+	// byte-identical to the unguarded build (see shed.go).
+	Shed *shed.Controller
 }
 
 // NewServer builds a server over the dataset, compiling its first snapshot.
@@ -124,12 +130,24 @@ func normalize(data *Dataset) *Dataset {
 // backs everything else (path cleaning, /metrics, /debug/...).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	check, list, prefixes, stats := s.handleCheck, s.handleList, s.handlePrefixes, s.handleStats
+	if s.Shed != nil {
+		// Admission wraps each endpoint by cost class; /v1/check splits by
+		// method (GET cheap, POST heavy). The health probes bypass admission
+		// — a load balancer must be able to probe an overloaded server.
+		check = s.shedCheck()
+		list = s.guarded(shed.ClassHeavy, s.handleList)
+		prefixes = s.guarded(shed.ClassHeavy, s.handlePrefixes)
+		stats = s.guarded(shed.ClassCheap, s.handleStats)
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/readyz", s.handleReadyz)
+	}
 	h := &apiHandler{
 		mux:      mux,
-		check:    s.counted("check", s.handleCheck),
-		list:     s.counted("list", s.handleList),
-		prefixes: s.counted("prefixes", s.handlePrefixes),
-		stats:    s.counted("stats", s.handleStats),
+		check:    s.counted("check", check),
+		list:     s.counted("list", list),
+		prefixes: s.counted("prefixes", prefixes),
+		stats:    s.counted("stats", stats),
 	}
 	mux.HandleFunc("/v1/check", h.check)
 	mux.HandleFunc("/v1/list", h.list)
@@ -301,6 +319,16 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d addresses exceed the limit of %d", len(ips), MaxBatchIPs))
 		return
 	}
+	if s.Shed != nil && s.Shed.Degraded() {
+		// Degraded mode clamps batch work, not batch validity: a batch that
+		// would be fine normally gets a retryable 429 (with the clamp named),
+		// never the 400 reserved for protocol violations above.
+		if clamp := s.Shed.DegradedMaxBatch(); len(ips) > clamp {
+			writeShedError(w, s.Shed, http.StatusTooManyRequests, "batch clamped in degraded mode",
+				fmt.Sprintf("%d addresses exceed the degraded-mode limit of %d", len(ips), clamp))
+			return
+		}
+	}
 	snap := s.snap.Load()
 	buf := make([]byte, 0, 32+128*len(ips))
 	buf = append(buf, '[')
@@ -374,6 +402,10 @@ func acceptsGzip(r *http.Request) bool {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
+		return
+	}
+	if s.Shed != nil && s.Shed.Degraded() {
+		s.serveDegraded(w, r, &s.snap.Load().list, "text/plain; charset=utf-8")
 		return
 	}
 	servePrecomputed(w, r, &s.snap.Load().list, "text/plain; charset=utf-8")

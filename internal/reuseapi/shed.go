@@ -1,0 +1,115 @@
+package reuseapi
+
+import (
+	"net/http"
+	"strconv"
+
+	"github.com/reuseblock/reuseblock/internal/shed"
+)
+
+// This file is the HTTP face of the overload-resilience layer: the shed
+// package decides (admit, shed, rate-limit, degrade) and the helpers here
+// translate decisions into the documented wire behaviour — JSON Error
+// bodies with Retry-After on 429/503, gzip-only degraded list serving, and
+// the /healthz + /readyz probes. Everything is reached only when
+// Server.Shed is non-nil; a nil controller leaves the serving paths
+// byte-identical to the unguarded build.
+
+// guarded wraps an endpoint handler with the admission pipeline: the
+// per-client token bucket first (cheapest check, and a rate-limited client
+// must not consume a concurrency slot), then the class gate. Rejections
+// carry the documented Error shape plus Retry-After.
+func (s *Server) guarded(class shed.Class, h http.HandlerFunc) http.HandlerFunc {
+	c := s.Shed
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !c.AllowClient(c.ClientKey(r)) {
+			writeShedError(w, c, http.StatusTooManyRequests,
+				"rate limit exceeded", "per-client request budget exhausted")
+			return
+		}
+		release, outcome := c.Acquire(r.Context(), class)
+		if outcome != shed.Admitted {
+			writeShedError(w, c, http.StatusTooManyRequests,
+				"overloaded: request shed", outcome.String())
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// shedCheck splits /v1/check admission by method: single GET checks ride
+// the cheap gate (they must keep flowing during a batch flood), batch POSTs
+// the heavy one.
+func (s *Server) shedCheck() http.HandlerFunc {
+	one := s.guarded(shed.ClassCheap, s.handleCheckOne)
+	batch := s.guarded(shed.ClassHeavy, s.handleCheckBatch)
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			one(w, r)
+		case http.MethodPost:
+			batch(w, r)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
+		}
+	}
+}
+
+// writeShedError is writeError plus the Retry-After header every shed,
+// rate-limited and degraded rejection carries.
+func writeShedError(w http.ResponseWriter, c *shed.Controller, code int, msg, detail string) {
+	w.Header().Set("Retry-After", strconv.Itoa(c.RetryAfterSeconds()))
+	writeError(w, code, msg, detail)
+}
+
+// serveDegraded is servePrecomputed's degraded-mode variant for large
+// bodies: revalidation still works (a 304 is the cheapest possible answer),
+// gzip-accepting clients get the precomputed compressed bytes, and clients
+// demanding the identity representation are turned away with 503 +
+// Retry-After instead of holding a connection through a large transmit
+// under overload. Bodies whose gzip form saved nothing (pb.gz == nil) are
+// served as-is — they are already minimal.
+func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, pb *precomputedBody, contentType string) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("ETag", pb.etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, pb.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if pb.gz == nil {
+		_, _ = w.Write(pb.body)
+		return
+	}
+	if !acceptsGzip(r) {
+		writeShedError(w, s.Shed, http.StatusServiceUnavailable,
+			"degraded mode: precomputed gzip only", "retry with Accept-Encoding: gzip")
+		return
+	}
+	h.Set("Content-Encoding", "gzip")
+	_, _ = w.Write(pb.gz)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It always
+// answers 200 — degraded is an overload posture, not a death.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	setContentTypeJSON(w)
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz is readiness: 200 while serving normally, 503 + Retry-After
+// while degraded so load balancers drain this replica until it recovers.
+// Each probe re-evaluates the mode machine, so readiness polling alone is
+// enough to drive recovery after a flood ends.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Shed.Mode() == shed.ModeDegraded {
+		w.Header().Set("Retry-After", strconv.Itoa(s.Shed.RetryAfterSeconds()))
+		setContentTypeJSON(w)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"ready\":false,\"mode\":\"degraded\"}\n"))
+		return
+	}
+	setContentTypeJSON(w)
+	_, _ = w.Write([]byte("{\"ready\":true,\"mode\":\"normal\"}\n"))
+}

@@ -1,0 +1,115 @@
+package shed
+
+import (
+	"container/list"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// limiter is a per-client token-bucket map bounded by an LRU: each client
+// key owns a bucket refilled at rate tokens/second up to burst. The LRU
+// bound means a scan of spoofed client keys evicts idle entries instead of
+// growing memory — an evicted client that returns simply starts from a
+// full bucket, which errs toward admitting.
+type limiter struct {
+	rate    float64
+	burst   float64
+	maxKeys int
+	now     func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, maxKeys int, now func() time.Time) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   burst,
+		maxKeys: maxKeys,
+		now:     now,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// allow spends one token from key's bucket, reporting whether one was
+// available.
+func (l *limiter) allow(key string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[key]
+	if !ok {
+		b := &bucket{key: key, tokens: l.burst, last: now}
+		el = l.order.PushFront(b)
+		l.entries[key] = el
+		for len(l.entries) > l.maxKeys {
+			oldest := l.order.Back()
+			l.order.Remove(oldest)
+			delete(l.entries, oldest.Value.(*bucket).key)
+		}
+	} else {
+		l.order.MoveToFront(el)
+	}
+	b := el.Value.(*bucket)
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// len reports the number of tracked clients (test hook).
+func (l *limiter) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// ClientKey derives the rate-limit key for a request: the client IP from
+// RemoteAddr (or the first X-Forwarded-For hop when the controller trusts
+// the header), masked to the configured prefix so one CGNAT pool shares one
+// budget. Unparseable addresses collapse to a single shared key — better
+// one throttled bucket than an unbounded keyspace.
+func (c *Controller) ClientKey(r *http.Request) string {
+	raw := ""
+	if c.cfg.TrustForwarded {
+		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+			raw = strings.TrimSpace(strings.SplitN(fwd, ",", 2)[0])
+		}
+	}
+	if raw == "" {
+		raw = r.RemoteAddr
+		if host, _, err := net.SplitHostPort(raw); err == nil {
+			raw = host
+		}
+	}
+	addr, err := iputil.ParseAddr(raw)
+	if err != nil {
+		return "invalid"
+	}
+	if bits := c.cfg.ClientPrefixBits; bits < 32 {
+		addr &= iputil.Addr(^uint32(0) << (32 - bits))
+	}
+	return addr.String()
+}

@@ -1,0 +1,161 @@
+package shed
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	ck := newClock()
+	l := newLimiter(10, 2, 16, ck.now)
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("burst of 2 not granted")
+	}
+	if l.allow("a") {
+		t.Fatal("third instant request allowed past burst")
+	}
+	ck.advance(100 * time.Millisecond) // refills one token at 10/s
+	if !l.allow("a") {
+		t.Fatal("refilled token not granted")
+	}
+	if l.allow("a") {
+		t.Fatal("only one token should have refilled")
+	}
+}
+
+func TestLimiterTokensCapAtBurst(t *testing.T) {
+	ck := newClock()
+	l := newLimiter(10, 2, 16, ck.now)
+	ck.advance(time.Hour) // a long idle must not bank unbounded tokens
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("burst not available after idle")
+	}
+	if l.allow("a") {
+		t.Fatal("idle banked more than burst tokens")
+	}
+}
+
+func TestLimiterKeysAreIndependent(t *testing.T) {
+	ck := newClock()
+	l := newLimiter(1, 1, 16, ck.now)
+	if !l.allow("a") {
+		t.Fatal("first a denied")
+	}
+	if !l.allow("b") {
+		t.Fatal("a's spend drained b's bucket")
+	}
+	if l.allow("a") || l.allow("b") {
+		t.Fatal("burst=1 keys allowed twice")
+	}
+}
+
+func TestLimiterLRUEviction(t *testing.T) {
+	ck := newClock()
+	l := newLimiter(1, 1, 3, ck.now)
+	for i := 0; i < 5; i++ {
+		l.allow(fmt.Sprintf("k%d", i))
+	}
+	if got := l.len(); got != 3 {
+		t.Fatalf("limiter tracks %d keys, want LRU cap 3", got)
+	}
+	// k0 was evicted: it returns with a fresh (full) bucket.
+	if !l.allow("k0") {
+		t.Fatal("evicted key did not restart from a full bucket")
+	}
+	// k4 is still tracked and spent.
+	if l.allow("k4") {
+		t.Fatal("tracked key's spent bucket was forgotten")
+	}
+}
+
+func TestLimiterLRUOrderTracksUse(t *testing.T) {
+	ck := newClock()
+	l := newLimiter(100, 100, 2, ck.now)
+	l.allow("a")
+	l.allow("b")
+	l.allow("a") // a is now most recent; c must evict b
+	l.allow("c")
+	l.mu.Lock()
+	_, hasA := l.entries["a"]
+	_, hasB := l.entries["b"]
+	l.mu.Unlock()
+	if !hasA || hasB {
+		t.Fatalf("LRU evicted wrong key: hasA=%v hasB=%v", hasA, hasB)
+	}
+}
+
+func req(remote, fwd string) *http.Request {
+	r := httptest.NewRequest(http.MethodGet, "/v1/check?ip=1.2.3.4", nil)
+	r.RemoteAddr = remote
+	if fwd != "" {
+		r.Header.Set("X-Forwarded-For", fwd)
+	}
+	return r
+}
+
+func TestClientKeyRemoteAddr(t *testing.T) {
+	c := newTestController(Config{}, nil)
+	if got := c.ClientKey(req("203.0.113.7:49152", "")); got != "203.0.113.7" {
+		t.Errorf("ClientKey = %q, want host without port", got)
+	}
+	if got := c.ClientKey(req("203.0.113.7", "")); got != "203.0.113.7" {
+		t.Errorf("ClientKey without port = %q", got)
+	}
+}
+
+func TestClientKeyIgnoresForwardedByDefault(t *testing.T) {
+	c := newTestController(Config{}, nil)
+	if got := c.ClientKey(req("203.0.113.7:1", "198.51.100.9")); got != "203.0.113.7" {
+		t.Errorf("untrusted X-Forwarded-For used as key: %q", got)
+	}
+}
+
+func TestClientKeyTrustForwarded(t *testing.T) {
+	c := newTestController(Config{TrustForwarded: true}, nil)
+	if got := c.ClientKey(req("127.0.0.1:1", "198.51.100.9")); got != "198.51.100.9" {
+		t.Errorf("trusted X-Forwarded-For key = %q", got)
+	}
+	// First hop wins in a multi-hop chain.
+	if got := c.ClientKey(req("127.0.0.1:1", "198.51.100.9, 10.0.0.1")); got != "198.51.100.9" {
+		t.Errorf("multi-hop X-Forwarded-For key = %q", got)
+	}
+	// Absent header falls back to RemoteAddr.
+	if got := c.ClientKey(req("203.0.113.7:1", "")); got != "203.0.113.7" {
+		t.Errorf("fallback key = %q", got)
+	}
+}
+
+func TestClientKeyPrefixAggregation(t *testing.T) {
+	c := newTestController(Config{ClientPrefixBits: 24}, nil)
+	a := c.ClientKey(req("100.64.9.9:1", ""))
+	b := c.ClientKey(req("100.64.9.200:1", ""))
+	if a != b || a != "100.64.9.0" {
+		t.Errorf("same /24 split into keys %q and %q, want 100.64.9.0", a, b)
+	}
+	other := c.ClientKey(req("100.64.10.9:1", ""))
+	if other == a {
+		t.Errorf("different /24 collapsed into %q", other)
+	}
+}
+
+func TestClientKeyInvalidCollapses(t *testing.T) {
+	c := newTestController(Config{}, nil)
+	if got := c.ClientKey(req("not-an-ip", "")); got != "invalid" {
+		t.Errorf("unparseable RemoteAddr key = %q, want the shared invalid bucket", got)
+	}
+}
+
+func TestAllowClientDisabled(t *testing.T) {
+	c := newTestController(Config{}, nil) // RatePerClient 0 = off
+	for i := 0; i < 100; i++ {
+		if !c.AllowClient("203.0.113.7") {
+			t.Fatal("disabled limiter rejected a client")
+		}
+	}
+	if c.rateLimited.Load() != 0 {
+		t.Fatal("disabled limiter counted rejections")
+	}
+}

@@ -1,0 +1,498 @@
+package shed
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/obs"
+)
+
+// clock is a manually advanced time source so CoDel and mode-machine tests
+// are deterministic.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestController(cfg Config, ck *clock) *Controller {
+	c := New(cfg, nil)
+	if ck != nil {
+		c.now = ck.now
+	}
+	return c
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.CheapConcurrency != 256 || cfg.HeavyConcurrency != 32 || cfg.QueueLimit != 128 {
+		t.Errorf("concurrency defaults wrong: %+v", cfg)
+	}
+	if cfg.Target != 5*time.Millisecond || cfg.Interval != 100*time.Millisecond ||
+		cfg.MaxWait != 50*time.Millisecond {
+		t.Errorf("timing defaults wrong: %+v", cfg)
+	}
+	if cfg.ClientPrefixBits != 32 || cfg.MaxClients != 4096 {
+		t.Errorf("client defaults wrong: %+v", cfg)
+	}
+	if cfg.DegradeAfter != time.Second || cfg.RecoverAfter != 2*time.Second ||
+		cfg.RetryAfter != time.Second || cfg.DegradedMaxBatchIPs != 256 {
+		t.Errorf("mode defaults wrong: %+v", cfg)
+	}
+	if cfg.Burst != 0 {
+		t.Errorf("burst should stay 0 with rate limiting off, got %d", cfg.Burst)
+	}
+	with := Config{RatePerClient: 10}.withDefaults()
+	if with.Burst != 20 {
+		t.Errorf("default burst = %d, want 2x rate = 20", with.Burst)
+	}
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	c := newTestController(Config{CheapConcurrency: 2}, nil)
+	rel1, out1 := c.Acquire(context.Background(), ClassCheap)
+	rel2, out2 := c.Acquire(context.Background(), ClassCheap)
+	if out1 != Admitted || out2 != Admitted || rel1 == nil || rel2 == nil {
+		t.Fatalf("free slots not admitted: %v %v", out1, out2)
+	}
+	rel1()
+	rel2()
+	if got := c.admitted.Load(); got != 2 {
+		t.Errorf("admitted total = %d, want 2", got)
+	}
+	if got := c.queued.Load(); got != 0 {
+		t.Errorf("fast-path admissions counted as queued: %d", got)
+	}
+}
+
+func TestAcquireClassesAreIndependent(t *testing.T) {
+	c := newTestController(Config{CheapConcurrency: 1, HeavyConcurrency: 1, MaxWait: 5 * time.Millisecond}, nil)
+	relHeavy, out := c.Acquire(context.Background(), ClassHeavy)
+	if out != Admitted {
+		t.Fatalf("heavy acquire: %v", out)
+	}
+	defer relHeavy()
+	// Heavy is saturated; cheap must be unaffected.
+	relCheap, out := c.Acquire(context.Background(), ClassCheap)
+	if out != Admitted {
+		t.Fatalf("cheap acquire while heavy saturated: %v", out)
+	}
+	relCheap()
+}
+
+func TestAcquireQueueFull(t *testing.T) {
+	c := newTestController(Config{HeavyConcurrency: 1, QueueLimit: 1, MaxWait: 200 * time.Millisecond}, nil)
+	rel, out := c.Acquire(context.Background(), ClassHeavy)
+	if out != Admitted {
+		t.Fatalf("first acquire: %v", out)
+	}
+	defer rel()
+
+	// Park one waiter in the queue, then overflow it.
+	parked := make(chan Outcome, 1)
+	go func() {
+		_, o := c.Acquire(context.Background(), ClassHeavy)
+		parked <- o
+	}()
+	waitCond(t, func() bool { return c.gates[ClassHeavy].waiters.Load() == 1 })
+
+	_, out = c.Acquire(context.Background(), ClassHeavy)
+	if out != ShedQueueFull {
+		t.Fatalf("overflow arrival got %v, want ShedQueueFull", out)
+	}
+	if o := <-parked; o != ShedWaitTimeout {
+		t.Fatalf("parked waiter got %v, want ShedWaitTimeout (slot never freed)", o)
+	}
+	if c.shed.Load() != 2 {
+		t.Errorf("shed total = %d, want 2", c.shed.Load())
+	}
+}
+
+func TestAcquireWaitTimeout(t *testing.T) {
+	c := newTestController(Config{HeavyConcurrency: 1, QueueLimit: 4, MaxWait: 10 * time.Millisecond}, nil)
+	rel, out := c.Acquire(context.Background(), ClassHeavy)
+	if out != Admitted {
+		t.Fatalf("first acquire: %v", out)
+	}
+	defer rel()
+	start := time.Now()
+	release, out := c.Acquire(context.Background(), ClassHeavy)
+	if out != ShedWaitTimeout || release != nil {
+		t.Fatalf("saturated acquire got %v, want ShedWaitTimeout with nil release", out)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("wait timeout took %v; bound not enforced", waited)
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	c := newTestController(Config{HeavyConcurrency: 1, QueueLimit: 4, MaxWait: 10 * time.Second}, nil)
+	rel, _ := c.Acquire(context.Background(), ClassHeavy)
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Outcome, 1)
+	go func() {
+		_, o := c.Acquire(ctx, ClassHeavy)
+		done <- o
+	}()
+	waitCond(t, func() bool { return c.gates[ClassHeavy].waiters.Load() == 1 })
+	cancel()
+	if o := <-done; o != ShedWaitTimeout {
+		t.Fatalf("cancelled waiter got %v, want ShedWaitTimeout", o)
+	}
+}
+
+func TestQueuedAdmissionReleasesAndCounts(t *testing.T) {
+	c := newTestController(Config{HeavyConcurrency: 1, QueueLimit: 4, MaxWait: 2 * time.Second}, nil)
+	rel, _ := c.Acquire(context.Background(), ClassHeavy)
+	done := make(chan Outcome, 1)
+	go func() {
+		rel2, o := c.Acquire(context.Background(), ClassHeavy)
+		if rel2 != nil {
+			rel2()
+		}
+		done <- o
+	}()
+	waitCond(t, func() bool { return c.gates[ClassHeavy].waiters.Load() == 1 })
+	rel() // free the slot; the waiter should be admitted
+	if o := <-done; o != Admitted {
+		t.Fatalf("waiter got %v after release, want Admitted", o)
+	}
+	if c.queued.Load() != 1 {
+		t.Errorf("queued total = %d, want 1", c.queued.Load())
+	}
+}
+
+// TestCoDelDropLatch drives the gate's sojourn controller directly: sojourn
+// above target for a full interval latches dropping; a zero-sojourn (fast
+// path) admission clears it.
+func TestCoDelDropLatch(t *testing.T) {
+	ck := newClock()
+	g := newGate(1, 8, 5*time.Millisecond, 100*time.Millisecond, 50*time.Millisecond)
+
+	g.noteSojourn(10*time.Millisecond, ck.now)
+	if g.dropping.Load() {
+		t.Fatal("one over-target sojourn latched dropping; needs a full interval")
+	}
+	ck.advance(150 * time.Millisecond)
+	g.noteSojourn(10*time.Millisecond, ck.now)
+	if !g.dropping.Load() {
+		t.Fatal("sojourn above target across a full interval did not latch dropping")
+	}
+	if !g.overloadedNow(ck.now()) {
+		t.Fatal("dropping gate does not report overloaded")
+	}
+
+	// A fast-path (zero sojourn) admission proves the standing queue is
+	// gone and must clear the latch; the gate still reports pressure until
+	// a full quiet interval passes (recovery hysteresis).
+	g.noteSojourn(0, ck.now)
+	if g.dropping.Load() {
+		t.Fatal("zero sojourn did not clear the dropping latch")
+	}
+	if !g.overloadedNow(ck.now()) {
+		t.Fatal("pressure seen within the last interval should still report overload")
+	}
+	ck.advance(101 * time.Millisecond)
+	if g.overloadedNow(ck.now()) {
+		t.Fatal("a quiet interval did not clear the pressure signal")
+	}
+}
+
+// TestCoDelDropShedsNewest pins the drop-state admission behaviour: while
+// dropping, arrivals that miss the fast path are shed without queueing.
+func TestCoDelDropShedsNewest(t *testing.T) {
+	ck := newClock()
+	c := newTestController(Config{
+		HeavyConcurrency: 1, QueueLimit: 8,
+		Target: time.Millisecond, Interval: 10 * time.Millisecond,
+		MaxWait: 50 * time.Millisecond,
+	}, ck)
+	g := c.gates[ClassHeavy]
+	rel, out := c.Acquire(context.Background(), ClassHeavy)
+	if out != Admitted {
+		t.Fatalf("first acquire: %v", out)
+	}
+	defer rel()
+
+	g.noteSojourn(5*time.Millisecond, ck.now)
+	ck.advance(20 * time.Millisecond)
+	g.noteSojourn(5*time.Millisecond, ck.now)
+	if !g.dropping.Load() {
+		t.Fatal("gate not dropping after sustained over-target sojourn")
+	}
+
+	_, out = c.Acquire(context.Background(), ClassHeavy)
+	if out != ShedOverloaded {
+		t.Fatalf("dropping gate admitted/queued a new arrival: %v", out)
+	}
+}
+
+// TestDropLatchSelfClearsWhenIdle pins the flood-is-over path: a dropping
+// gate with no pressure for two intervals stops reporting overload, so the
+// mode machine can recover even with zero traffic.
+func TestDropLatchSelfClearsWhenIdle(t *testing.T) {
+	ck := newClock()
+	g := newGate(1, 8, time.Millisecond, 10*time.Millisecond, 50*time.Millisecond)
+	g.noteSojourn(5*time.Millisecond, ck.now)
+	ck.advance(20 * time.Millisecond)
+	g.noteSojourn(5*time.Millisecond, ck.now)
+	if !g.overloadedNow(ck.now()) {
+		t.Fatal("setup: gate should be dropping")
+	}
+	ck.advance(21 * time.Millisecond) // > 2x interval with no pressure
+	if g.overloadedNow(ck.now()) {
+		t.Fatal("idle dropping gate did not self-clear")
+	}
+	if g.dropping.Load() {
+		t.Fatal("self-clear did not reset the latch")
+	}
+}
+
+// TestModeMachine walks normal -> degraded -> normal through sustained
+// overload and calm, on a manual clock.
+func TestModeMachine(t *testing.T) {
+	ck := newClock()
+	c := newTestController(Config{
+		Target: time.Millisecond, Interval: 10 * time.Millisecond,
+		DegradeAfter: 100 * time.Millisecond, RecoverAfter: 200 * time.Millisecond,
+	}, ck)
+	g := c.gates[ClassHeavy]
+
+	latch := func() {
+		g.noteSojourn(5*time.Millisecond, ck.now)
+		ck.advance(15 * time.Millisecond)
+		g.noteSojourn(5*time.Millisecond, ck.now)
+	}
+	latch()
+	if c.Mode() != ModeNormal {
+		t.Fatal("overload degraded the mode before DegradeAfter elapsed")
+	}
+	// Keep the pressure on past DegradeAfter (re-note sojourn so the idle
+	// self-clear cannot fire between evaluations).
+	for i := 0; i < 12; i++ {
+		ck.advance(10 * time.Millisecond)
+		g.noteSojourn(5*time.Millisecond, ck.now)
+		c.Mode()
+	}
+	if c.Mode() != ModeDegraded {
+		t.Fatal("sustained overload did not degrade the mode")
+	}
+	if !c.Degraded() {
+		t.Fatal("Degraded() disagrees with Mode()")
+	}
+
+	// Calm: fast-path sojourn clears the latch; once a quiet interval has
+	// passed the calm window starts, and after RecoverAfter of calm the
+	// mode returns to normal.
+	g.noteSojourn(0, ck.now)
+	if c.Mode() != ModeDegraded {
+		t.Fatal("mode recovered instantly; RecoverAfter not honoured")
+	}
+	ck.advance(50 * time.Millisecond) // > interval: pressure signal expires
+	if c.Mode() != ModeDegraded {
+		t.Fatal("mode recovered before RecoverAfter of calm elapsed")
+	}
+	ck.advance(250 * time.Millisecond) // > RecoverAfter of observed calm
+	if c.Mode() != ModeNormal {
+		t.Fatal("calm past RecoverAfter did not recover the mode")
+	}
+	if got := c.transitions.Load(); got != 2 {
+		t.Errorf("mode transitions = %d, want 2", got)
+	}
+}
+
+func TestReloadFailureDegradesImmediately(t *testing.T) {
+	ck := newClock()
+	c := newTestController(Config{DegradeAfter: time.Hour, RecoverAfter: 50 * time.Millisecond}, ck)
+	if c.Mode() != ModeNormal {
+		t.Fatal("fresh controller not normal")
+	}
+	c.SetReloadFailed(true)
+	if c.Mode() != ModeDegraded {
+		t.Fatal("failed reload did not degrade immediately (DegradeAfter must not apply)")
+	}
+	st := c.Status()
+	if !st.ReloadFailed || st.Mode != "degraded" {
+		t.Fatalf("status does not reflect failed reload: %+v", st)
+	}
+
+	// Clearing the failure starts the calm window; recovery follows it.
+	c.SetReloadFailed(false)
+	if c.Mode() != ModeNormal {
+		ck.advance(60 * time.Millisecond)
+	}
+	if c.Mode() != ModeNormal {
+		t.Fatal("cleared reload failure did not recover after RecoverAfter")
+	}
+}
+
+func TestStatusTotals(t *testing.T) {
+	c := newTestController(Config{CheapConcurrency: 1, HeavyConcurrency: 1,
+		QueueLimit: 1, MaxWait: 5 * time.Millisecond, RatePerClient: 1, Burst: 1}, nil)
+	rel, _ := c.Acquire(context.Background(), ClassCheap)
+	if _, out := c.Acquire(context.Background(), ClassCheap); out != ShedWaitTimeout {
+		t.Fatalf("saturated cheap acquire: %v", out)
+	}
+	rel()
+	if !c.AllowClient("198.51.100.7") {
+		t.Fatal("first request for a client must be allowed")
+	}
+	if c.AllowClient("198.51.100.7") {
+		t.Fatal("burst=1 client allowed twice instantly")
+	}
+	st := c.Status()
+	if !st.Enabled || st.Admitted != 1 || st.Shed != 1 || st.RateLimited != 1 {
+		t.Fatalf("status totals wrong: %+v", st)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	if got := newTestController(Config{}, nil).RetryAfterSeconds(); got != 1 {
+		t.Errorf("default RetryAfterSeconds = %d, want 1", got)
+	}
+	if got := newTestController(Config{RetryAfter: 2500 * time.Millisecond}, nil).RetryAfterSeconds(); got != 3 {
+		t.Errorf("2.5s RetryAfterSeconds = %d, want ceil to 3", got)
+	}
+	if got := newTestController(Config{RetryAfter: time.Millisecond}, nil).RetryAfterSeconds(); got != 1 {
+		t.Errorf("1ms RetryAfterSeconds = %d, want floor of 1", got)
+	}
+}
+
+// TestMetricsNamespace pins that every shed metric lives in the wall
+// namespace: live-traffic admission is not part of the deterministic study
+// surface, so nothing here may leak into golden snapshots.
+func TestMetricsNamespace(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{CheapConcurrency: 1, RatePerClient: 1}, reg)
+	c.now = newClock().now
+	rel, _ := c.Acquire(context.Background(), ClassCheap)
+	rel()
+	c.AllowClient("198.51.100.7")
+	if det := reg.DeterministicSnapshot(); len(det) != 0 {
+		t.Fatalf("shed metrics leaked into the deterministic snapshot: %+v", det)
+	}
+	full := reg.Snapshot(true)
+	found := map[string]bool{}
+	for _, m := range full {
+		for _, want := range []string{"shed_requests_total", "shed_queue_seconds",
+			"shed_rate_limited_total", "shed_degraded", "shed_mode_transitions_total"} {
+			if strings.Contains(m.Name, want) {
+				found[want] = true
+			}
+		}
+		if !strings.HasPrefix(m.Name, obs.WallPrefix) {
+			t.Errorf("shed metric %q outside the wall namespace", m.Name)
+		}
+	}
+	for _, want := range []string{"shed_requests_total", "shed_queue_seconds",
+		"shed_rate_limited_total", "shed_degraded", "shed_mode_transitions_total"} {
+		if !found[want] {
+			t.Errorf("metric family %q not registered", want)
+		}
+	}
+}
+
+// TestAcquireRace hammers one tiny gate from many goroutines; the invariant
+// is conservation: every admission releases, and admissions + sheds equals
+// arrivals. Run under -race this also proves the gate is data-race free.
+func TestAcquireRace(t *testing.T) {
+	c := newTestController(Config{HeavyConcurrency: 2, QueueLimit: 4,
+		Target: time.Microsecond, Interval: time.Millisecond, MaxWait: 2 * time.Millisecond}, nil)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rel, out := c.Acquire(context.Background(), ClassHeavy)
+				if out == Admitted {
+					rel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.admitted.Load() + c.shed.Load(); got != workers*per {
+		t.Fatalf("admitted+shed = %d, want %d arrivals", got, workers*per)
+	}
+	// All slots must be free again.
+	if n := len(c.gates[ClassHeavy].slots); n != 0 {
+		t.Fatalf("%d slots leaked", n)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{ClassCheap.String(), "cheap"},
+		{ClassHeavy.String(), "heavy"},
+		{Class(99).String(), "unknown"},
+		{Admitted.String(), "admitted"},
+		{ShedQueueFull.String(), "queue_full"},
+		{ShedOverloaded.String(), "overloaded"},
+		{ShedWaitTimeout.String(), "wait_timeout"},
+		{Outcome(99).String(), "unknown"},
+		{ModeNormal.String(), "normal"},
+		{ModeDegraded.String(), "degraded"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("stringer = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+// waitCond polls until cond holds or the test deadline nears.
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+func TestControllerAccessors(t *testing.T) {
+	c := New(Config{DegradedMaxBatchIPs: 64, RetryAfter: 1500 * time.Millisecond}, nil)
+	if got := c.DegradedMaxBatch(); got != 64 {
+		t.Errorf("DegradedMaxBatch = %d, want 64", got)
+	}
+	// Fractional delays round up: the header is whole seconds, and rounding
+	// down would advertise a retry sooner than the configured backoff.
+	if got := c.RetryAfterSeconds(); got != 2 {
+		t.Errorf("RetryAfterSeconds for 1.5s = %d, want 2", got)
+	}
+	zero := New(Config{}, nil)
+	if got := zero.RetryAfterSeconds(); got != 1 {
+		t.Errorf("RetryAfterSeconds floor = %d, want 1", got)
+	}
+}
+
+func TestLimiterBurstFloor(t *testing.T) {
+	// A sub-1 burst would deny every first request; the limiter floors it.
+	l := newLimiter(10, 0, 4, time.Now)
+	if !l.allow("client") {
+		t.Error("first request with a zero burst config was denied")
+	}
+}
