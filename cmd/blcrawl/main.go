@@ -18,10 +18,21 @@
 // (exit 2): a fleet member crawling the wrong scope would silently hole the
 // merged dataset.
 //
+// Worker mode (used by blfleet, usable by any supervisor): -report-to
+// HOST:PORT connects the crawl to a fleet coordinator over loopback UDP —
+// the worker announces itself (fleet_ready), streams progress heartbeats
+// (fleet_hb) at -hb-interval, and delivers its final statistics
+// (fleet_done) with retry-until-ack. -worker names this instance in those
+// messages. -rate/-burst meter the crawl through a deterministic token
+// bucket (this worker's share of the fleet budget) and -max-inflight bounds
+// outstanding queries. Malformed worker-mode values are usage errors (exit
+// 2 + usage), exactly like -shard.
+//
 // Usage:
 //
 //	blcrawl [-seed N] [-scale F] [-duration DUR] [-loss F] [-faults SCENARIO] [-shard I/N] [-out FILE]
 //	blcrawl -real 50 [-duration DUR]
+//	blcrawl -shard 2/4 -report-to 127.0.0.1:40000 -worker 2 [-rate F] [-max-inflight N] ...
 package main
 
 import (
@@ -30,26 +41,30 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"github.com/reuseblock/reuseblock/internal/blgen"
-	"github.com/reuseblock/reuseblock/internal/blocklist"
-	"github.com/reuseblock/reuseblock/internal/core"
 	"github.com/reuseblock/reuseblock/internal/crawler"
 	"github.com/reuseblock/reuseblock/internal/dht"
 	"github.com/reuseblock/reuseblock/internal/faults"
-	"github.com/reuseblock/reuseblock/internal/iputil"
+	"github.com/reuseblock/reuseblock/internal/fleet"
 	"github.com/reuseblock/reuseblock/internal/krpc"
 	"github.com/reuseblock/reuseblock/internal/netsim"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// workerOpts is the validated worker-mode configuration (zero value: not a
+// fleet worker).
+type workerOpts struct {
+	reportTo   string
+	worker     int
+	hbInterval time.Duration
+	budget     fleet.Budget
 }
 
 // run is main with its exit code and streams surfaced so tests can drive the
@@ -70,6 +85,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		window   = fs.Duration("window", 30*time.Second, "ping-window for -replay scoring")
 		faultScn = fs.String("faults", "", "fault scenario to inject (simulated mode; one of: "+strings.Join(faults.Names(), ", ")+")")
 		shard    = fs.String("shard", "", "crawl only the I-th of N address shards, as I/N with 1 <= I <= N (simulated mode)")
+
+		reportTo    = fs.String("report-to", "", "fleet worker mode: coordinator control address (HOST:PORT) to report to")
+		workerID    = fs.Int("worker", 0, "fleet worker mode: this worker's number (>= 1; requires -report-to)")
+		hbInterval  = fs.Duration("hb-interval", 500*time.Millisecond, "fleet worker mode: heartbeat period (> 0)")
+		rate        = fs.Float64("rate", 0, "budget: sustained query rate in queries/sec (0 = unlimited)")
+		burst       = fs.Int("burst", 0, "budget: token-bucket burst depth (0 = one second of -rate)")
+		maxInflight = fs.Int("max-inflight", 0, "budget: bound on outstanding queries (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,14 +105,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "blcrawl:", err)
 		return 1
 	}
-	shardIdx, shardN, err := parseShard(*shard)
-	if err != nil {
-		// A wrong shard scope is a usage error, not a runtime failure: treat
-		// it like any other bad flag value (exit 2 with usage) so fleet
-		// launchers fail loudly instead of crawling a hole into the dataset.
+	usageErr := func(err error) int {
+		// A wrong shard scope or worker wiring is a usage error, not a
+		// runtime failure: treat it like any other bad flag value (exit 2
+		// with usage) so fleet launchers fail loudly instead of crawling a
+		// hole into the dataset.
 		fmt.Fprintln(stderr, "blcrawl:", err)
 		fs.Usage()
 		return 2
+	}
+	shardSpec, err := fleet.ParseShard(*shard)
+	if err != nil {
+		return usageErr(err)
+	}
+	worker, err := validateWorkerFlags(*reportTo, *workerID, *hbInterval, *rate, *burst, *maxInflight)
+	if err != nil {
+		return usageErr(err)
 	}
 	switch {
 	case *replay != "":
@@ -98,13 +128,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *realN > 0:
 		err = runReal(*realN, *duration, stdout)
 	default:
-		err = runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario, shardIdx, shardN, stdout, stderr)
+		err = runSimulated(*seed, *scale, *duration, *loss, *out, *msgLog, scenario, shardSpec, worker, stdout, stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "blcrawl:", err)
 		return 1
 	}
 	return 0
+}
+
+// validateWorkerFlags applies the -shard validation standard to the worker
+// and budget flags: anything malformed is rejected before the crawl starts.
+func validateWorkerFlags(reportTo string, worker int, hbInterval time.Duration, rate float64, burst, maxInflight int) (workerOpts, error) {
+	var w workerOpts
+	if rate < 0 {
+		return w, fmt.Errorf("invalid -rate %v: want >= 0", rate)
+	}
+	if burst < 0 {
+		return w, fmt.Errorf("invalid -burst %d: want >= 0", burst)
+	}
+	if maxInflight < 0 {
+		return w, fmt.Errorf("invalid -max-inflight %d: want >= 0", maxInflight)
+	}
+	w.budget = fleet.Budget{Rate: rate, Burst: burst, MaxInflight: maxInflight}
+	if reportTo == "" {
+		if worker != 0 {
+			return w, fmt.Errorf("invalid -worker %d: requires -report-to", worker)
+		}
+		return w, nil
+	}
+	if _, err := fleet.ParseControlAddr(reportTo); err != nil {
+		return w, fmt.Errorf("invalid -report-to: %v", err)
+	}
+	if worker < 1 {
+		return w, fmt.Errorf("invalid -worker %d: want >= 1 with -report-to", worker)
+	}
+	if hbInterval <= 0 {
+		return w, fmt.Errorf("invalid -hb-interval %v: want > 0", hbInterval)
+	}
+	w.reportTo = reportTo
+	w.worker = worker
+	w.hbInterval = hbInterval
+	return w, nil
 }
 
 // runReplay reproduces NAT determination offline from a message log — the
@@ -127,69 +192,31 @@ func runReplay(path string, window time.Duration, stdout io.Writer) error {
 	return nil
 }
 
-// parseShard parses the -shard value: empty means "no sharding", otherwise
-// "I/N" with 1 <= I <= N selects the I-th of N address shards (1-based, the
-// way fleet launchers number members). The returned idx is 0-based for the
-// modulo scope check. Rejected: malformed strings, I < 1, N < 1, I > N.
-func parseShard(s string) (idx, n int, err error) {
-	if s == "" {
-		return 0, 1, nil
-	}
-	is, ns, ok := strings.Cut(s, "/")
-	if ok {
-		idx, err = strconv.Atoi(is)
-		if err == nil {
-			n, err = strconv.Atoi(ns)
+func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, shard fleet.ShardSpec, worker workerOpts, stdout, stderr io.Writer) (err error) {
+	// In worker mode the coordinator is dialed before world generation so
+	// readiness is announced as early as possible.
+	var agent *fleet.Agent
+	if worker.reportTo != "" {
+		agent, err = fleet.DialAgent(worker.reportTo, worker.worker, shard, worker.hbInterval)
+		if err != nil {
+			return err
 		}
+		defer agent.Close()
 	}
-	if !ok || err != nil || n < 1 || idx < 1 || idx > n {
-		return 0, 0, fmt.Errorf("invalid -shard %q: want I/N with 1 <= I <= N", s)
-	}
-	return idx - 1, n, nil
-}
 
-func runSimulated(seed int64, scale float64, duration time.Duration, loss float64, out, msgLog string, scenario *faults.Scenario, shardIdx, shardN int, stdout, stderr io.Writer) (err error) {
-	wp := blgen.DefaultParams(seed)
-	wp.Scale = scale
-	w := blgen.Generate(wp)
-	fmt.Fprintf(stderr, "world: %d BT users, %d NAT gateways\n", len(w.BTUsers), len(w.NATs))
-
-	scope := w.BlocklistedSpace()
-	swarm, err := core.BuildSwarm(w, core.SwarmConfig{
-		Loss:         loss,
-		Seed:         seed,
-		ChurnHorizon: duration,
-		Faults:       scenario,
-	}, scope.Covers)
-	if err != nil {
-		return err
+	job := fleet.CrawlJob{
+		Seed:     seed,
+		Scale:    scale,
+		Duration: duration,
+		Loss:     loss,
+		Scenario: scenario,
+		Shard:    shard,
+		Budget:   worker.budget,
+		Stderr:   stderr,
 	}
-	sock, err := swarm.Net.Listen(netsim.Endpoint{Addr: iputil.MustParseAddr("198.18.0.1"), Port: 9999})
-	if err != nil {
-		return err
-	}
-	cover := scope.Covers
-	if shardN > 1 {
-		// Restrict probing to this instance's address shard. The bootstrap
-		// stays reachable from every shard, or a scope-restricted crawler
-		// could never take its first step.
-		bootstrap := swarm.Bootstrap.Addr
-		cover = func(a iputil.Addr) bool {
-			return scope.Covers(a) && (a == bootstrap || int(uint32(a)%uint32(shardN)) == shardIdx)
-		}
-		fmt.Fprintf(stderr, "crawling shard %d/%d of the address space\n", shardIdx, shardN)
-	}
-	ccfg := crawler.Config{
-		Bootstrap: []netsim.Endpoint{swarm.Bootstrap},
-		Scope:     cover,
-		Seed:      seed,
-	}
-	if scenario != nil {
-		// Under faults the crawler fights back: retries with backoff and
-		// eviction of persistently dead endpoints.
-		ccfg.MaxRetries = 2
-		ccfg.RetryBase = 2 * time.Second
-		ccfg.EvictAfter = 4
+	if agent != nil {
+		job.Chunk = fleet.HeartbeatChunk(duration)
+		job.Progress = agent.Publish
 	}
 	if msgLog != "" {
 		lf, err := os.Create(msgLog)
@@ -203,16 +230,16 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 		}()
 		w := bufio.NewWriter(lf)
 		defer w.Flush()
-		ccfg.EventLog = w
+		job.EventLog = w
 	}
-	c := crawler.New(sock, dht.SimClock(swarm.Clock), ccfg)
-	swarm.Clock.RunFor(time.Minute)
-	c.Start()
-	start := time.Now()
-	swarm.Clock.RunFor(duration)
-	c.Stop()
 
-	st := c.Stats()
+	start := time.Now()
+	res, err := fleet.RunCrawl(job)
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats
 	fmt.Fprintf(stdout, "crawled %v of simulated time in %v\n", duration, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "messages sent:      %d (get_nodes %d, bt_ping %d)\n", st.MessagesSent, st.GetNodesSent, st.PingsSent)
 	fmt.Fprintf(stdout, "responses received: %d (%.1f%%)\n", st.MessagesReceived, st.ResponseRate*100)
@@ -223,39 +250,33 @@ func runSimulated(seed int64, scale float64, duration time.Duration, loss float6
 	if scenario != nil {
 		fmt.Fprintf(stdout, "resilience:         %d retries, %d late replies, %d endpoints evicted\n",
 			st.Retries, st.LateReplies, st.Evicted)
-		if swarm.Injector != nil {
-			fs := swarm.Injector.Stats()
+		if res.FaultStats != nil {
+			fs := res.FaultStats
 			fmt.Fprintf(stdout, "%-20s%d burst-dropped, %d blackout-dropped, %d rate-limited, %d corrupted\n",
 				"faults ("+scenario.Name+"):", fs.BurstDropped, fs.BlackoutDropped, fs.RateLimited, fs.Corrupted)
 		}
 	}
-
-	detected := map[iputil.Addr]int{}
-	truePositives := 0
-	for _, o := range c.NATed() {
-		detected[o.Addr] = o.Users
-		if _, ok := w.NATByIP[o.Addr]; ok {
-			truePositives++
-		}
-	}
-	if len(detected) > 0 {
+	if len(res.Detected) > 0 {
 		fmt.Fprintf(stdout, "ground truth:       %d/%d detected addresses are true NAT gateways\n",
-			truePositives, len(detected))
+			res.TruePositives, len(res.Detected))
 	}
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+		if err := fleet.WriteOut(out, res.Detected, stderr); err != nil {
 			return err
 		}
-		header := "NATed addresses detected by blcrawl (addr<TAB>users lower bound)"
-		if err := blocklist.WriteNATedList(f, detected, header); err != nil {
-			f.Close()
+	}
+	if agent != nil {
+		d := fleet.Done{
+			OutFile:       out,
+			Stats:         fleet.ToWireStats(st),
+			TruePositives: int64(res.TruePositives),
+		}
+		if res.SawBootstrap {
+			d.SawBootstrap = 1
+		}
+		if err := agent.Done(d); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "wrote %d addresses to %s\n", len(detected), out)
 	}
 	return nil
 }
@@ -270,17 +291,15 @@ func runReal(n int, duration time.Duration, stdout io.Writer) error {
 	var socks []*dht.RealSocket
 	var eps []netsim.Endpoint
 	for i := 0; i < n; i++ {
-		pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		sock, ep, err := dht.ListenLoopback(&mu)
 		if err != nil {
 			return err
 		}
-		sock := dht.NewRealSocket(pc, &mu)
 		mu.Lock()
 		node := dht.NewNode(sock, clock, dht.Config{
 			IDSeed: uint64(i + 1), Seed: int64(i + 1), Version: "RB01",
 		})
 		mu.Unlock()
-		ep, _ := sock.PublicEndpoint()
 		nodes = append(nodes, node)
 		socks = append(socks, sock)
 		eps = append(eps, ep)
@@ -295,11 +314,10 @@ func runReal(n int, duration time.Duration, stdout io.Writer) error {
 	}
 	mu.Unlock()
 
-	pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	csock, _, err := dht.ListenLoopback(&mu)
 	if err != nil {
 		return err
 	}
-	csock := dht.NewRealSocket(pc, &mu)
 	mu.Lock()
 	c := crawler.New(csock, clock, crawler.Config{
 		Bootstrap:     []netsim.Endpoint{eps[0]},

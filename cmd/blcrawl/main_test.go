@@ -6,40 +6,82 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 )
 
-func TestParseShard(t *testing.T) {
-	for _, tc := range []struct {
-		in      string
-		idx, n  int
-		wantErr bool
+// TestValidateWorkerFlags pins the worker-mode flag contract: budget flags
+// must be non-negative, -worker requires -report-to (and vice versa implies
+// a positive ID), -report-to must parse as HOST:PORT, and the heartbeat
+// period must be positive. Shard parsing itself lives in internal/fleet.
+func TestValidateWorkerFlags(t *testing.T) {
+	type in struct {
+		reportTo    string
+		worker      int
+		hb          time.Duration
+		rate        float64
+		burst       int
+		maxInflight int
+	}
+	ok := []in{
+		{},                                   // no worker mode, no budget
+		{rate: 5, burst: 10, maxInflight: 3}, // budget without a coordinator
+		{reportTo: "127.0.0.1:4000", worker: 1, hb: time.Second},
+		{reportTo: "127.0.0.1:4000", worker: 7, hb: 50 * time.Millisecond, rate: 0.5},
+	}
+	for _, c := range ok {
+		if _, err := validateWorkerFlags(c.reportTo, c.worker, c.hb, c.rate, c.burst, c.maxInflight); err != nil {
+			t.Errorf("validateWorkerFlags(%+v) rejected: %v", c, err)
+		}
+	}
+	bad := []in{
+		{rate: -1},
+		{burst: -1},
+		{maxInflight: -5},
+		{worker: 1},                                  // -worker without -report-to
+		{reportTo: "127.0.0.1:4000", worker: 0, hb: time.Second},  // missing -worker
+		{reportTo: "127.0.0.1:4000", worker: -2, hb: time.Second}, // negative -worker
+		{reportTo: "127.0.0.1:4000", worker: 1, hb: 0},            // heartbeat period
+		{reportTo: "nonsense", worker: 1, hb: time.Second},        // unparseable address
+		{reportTo: "127.0.0.1:notaport", worker: 1, hb: time.Second},
+		{reportTo: "127.0.0.1:0", worker: 1, hb: time.Second}, // port out of range
+	}
+	for _, c := range bad {
+		if _, err := validateWorkerFlags(c.reportTo, c.worker, c.hb, c.rate, c.burst, c.maxInflight); err == nil {
+			t.Errorf("validateWorkerFlags(%+v) accepted, want error", c)
+		}
+	}
+}
+
+// TestRunBadWorkerFlags pins the CLI contract for the worker-mode flags:
+// like -shard, a malformed value exits 2 and prints both the offending flag
+// and the usage text.
+func TestRunBadWorkerFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
 	}{
-		{"", 0, 1, false},
-		{"1/1", 0, 1, false}, // 1-based on the wire, 0-based internally
-		{"2/4", 1, 4, false},
-		{"4/4", 3, 4, false},
-		{"0/4", 0, 0, true}, // I < 1
-		{"5/4", 0, 0, true}, // I > N
-		{"-1/4", 0, 0, true},
-		{"1", 0, 0, true},
-		{"a/b", 0, 0, true},
-		{"1/a", 0, 0, true},
-		{"1/0", 0, 0, true}, // N < 1
-		{"1/-2", 0, 0, true},
-		{"1/2/3", 0, 0, true},
-	} {
-		idx, n, err := parseShard(tc.in)
-		if tc.wantErr {
-			if err == nil {
-				t.Errorf("parseShard(%q) accepted, want error", tc.in)
-			}
+		{[]string{"-rate", "-3"}, "invalid -rate"},
+		{[]string{"-burst", "-1"}, "invalid -burst"},
+		{[]string{"-max-inflight", "-2"}, "invalid -max-inflight"},
+		{[]string{"-worker", "1"}, "invalid -worker"},
+		{[]string{"-report-to", "127.0.0.1:4000"}, "invalid -worker"},
+		{[]string{"-report-to", "garbage", "-worker", "1"}, "invalid -report-to"},
+		{[]string{"-report-to", "127.0.0.1:4000", "-worker", "1", "-hb-interval", "0s"}, "invalid -hb-interval"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := run(c.args, &out, &errb); code != 2 {
+			t.Errorf("%v exited %d, want 2\nstderr: %s", c.args, code, errb.String())
 			continue
 		}
-		if err != nil || idx != tc.idx || n != tc.n {
-			t.Errorf("parseShard(%q) = %d, %d, %v; want %d, %d", tc.in, idx, n, err, tc.idx, tc.n)
+		if !strings.Contains(errb.String(), c.want) {
+			t.Errorf("%v did not report %q:\n%s", c.args, c.want, errb.String())
+		}
+		if !strings.Contains(errb.String(), "Usage of blcrawl") {
+			t.Errorf("%v did not print usage:\n%s", c.args, errb.String())
 		}
 	}
 }

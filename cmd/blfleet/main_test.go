@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/blocklist"
+	"github.com/reuseblock/reuseblock/internal/obs"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of blfleet") {
+		t.Fatalf("-h did not print usage:\n%s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestRunBadValues pins the validation contract: misconfigured fleets exit
+// 2 with the offending flag named and usage printed, before any worker
+// starts.
+func TestRunBadValues(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-workers", "0"}, "invalid -workers"},
+		{[]string{"-workers", "-3"}, "invalid -workers"},
+		{[]string{"-rate", "-1"}, "invalid -rate"},
+		{[]string{"-burst", "-1"}, "invalid -burst"},
+		{[]string{"-max-inflight", "-1"}, "invalid -max-inflight"},
+		{[]string{"-hb-interval", "0s"}, "invalid -hb-interval"},
+		{[]string{"-hb-timeout", "-1s"}, "invalid -hb-timeout"},
+		{[]string{"-max-restarts", "-1"}, "invalid -max-restarts"},
+		{[]string{"-workers", "2", "-kill-worker", "3"}, "invalid -kill-worker"},
+		{[]string{"-kill-worker", "-1"}, "invalid -kill-worker"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := run(c.args, &out, &errb); code != 2 {
+			t.Errorf("%v exited %d, want 2\nstderr: %s", c.args, code, errb.String())
+			continue
+		}
+		if !strings.Contains(errb.String(), c.want) {
+			t.Errorf("%v did not report %q:\n%s", c.args, c.want, errb.String())
+		}
+		if !strings.Contains(errb.String(), "Usage of blfleet") {
+			t.Errorf("%v did not print usage:\n%s", c.args, errb.String())
+		}
+	}
+}
+
+func TestRunUnknownFaultScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-faults", "does-not-exist"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown scenario exited %d, want 1", code)
+	}
+}
+
+// TestRunLocalFleetEndToEnd drives a tiny 2-worker in-process fleet through
+// the CLI and checks the full artifact set: merged list (round-trips
+// through ParseNATedList), manifest with a fleet block, and a metrics
+// snapshot carrying the fleet gauges.
+func TestRunLocalFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated fleet crawl")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "merged.txt")
+	manifest := filepath.Join(dir, "manifest.json")
+	metrics := filepath.Join(dir, "metrics.txt")
+	var stdout, stderrB bytes.Buffer
+	code := run([]string{
+		"-local", "-workers", "2", "-seed", "1", "-scale", "0.05", "-duration", "6h",
+		"-hb-interval", "25ms",
+		"-out", out, "-manifest-out", manifest, "-metrics-out", metrics,
+	}, &stdout, &stderrB)
+	if code != 0 {
+		t.Fatalf("fleet run exited %d\nstderr: %s", code, stderrB.String())
+	}
+	for _, want := range []string{"messages sent:", "NATed IPs:", "throughput:", "worker  shard"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("fleet output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	users, err := blocklist.ParseNATedList(f)
+	if err != nil {
+		t.Fatalf("merged output does not round-trip: %v", err)
+	}
+	if len(users) == 0 {
+		t.Fatal("merged output is empty")
+	}
+
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Fleet == nil {
+		t.Fatal("manifest has no fleet block")
+	}
+	if m.Fleet.Workers != 2 || len(m.Fleet.Shards) != 2 {
+		t.Fatalf("fleet block: %+v", m.Fleet)
+	}
+	if m.Fleet.RateBudget != "unlimited" {
+		t.Fatalf("rate budget = %q, want unlimited", m.Fleet.RateBudget)
+	}
+	for _, sh := range m.Fleet.Shards {
+		if sh.Heartbeats == 0 || sh.MessagesSent == 0 {
+			t.Fatalf("shard status not populated: %+v", sh)
+		}
+	}
+
+	metricsData, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet_workers 2", "fleet_merged_addrs", "wall_fleet_heartbeats_total"} {
+		if !strings.Contains(string(metricsData), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, metricsData)
+		}
+	}
+}

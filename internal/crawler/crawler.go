@@ -68,6 +68,23 @@ type Config struct {
 	// many consecutive queries to it failed (all retries exhausted); any
 	// reply — even a late one — resurrects it. Zero disables eviction.
 	EvictAfter int
+	// Limiter, when non-nil, is the fleet rate-budget hook: before issuing
+	// a discovery batch the pump asks it for up to BatchPerTick sends and
+	// issues only what is granted. Verification ping rounds are exempt —
+	// the simultaneity measurement needs all ports of an IP probed in one
+	// window. The limiter must be a deterministic function of the clock it
+	// is driven by (fleet.TokenBucket on the simulated clock qualifies), or
+	// crawl reproducibility is lost.
+	Limiter Limiter
+	// MaxInflight bounds outstanding discovery queries: the pump stops
+	// issuing when that many transactions await responses — the fleet's
+	// bounded in-flight request queue. Zero (the default) is unbounded.
+	MaxInflight int
+	// MaxPerNode bounds concurrent outstanding queries to a single
+	// endpoint; a frontier entry whose node is already at the bound is
+	// dropped from the queue like a cooled-down one (the next sweep
+	// re-enqueues every known endpoint). Zero is unbounded.
+	MaxPerNode int
 	// Seed drives the crawler's RNG (lookup targets, transaction IDs).
 	Seed int64
 	// EventLog, when non-nil, receives one line per message sent and
@@ -165,12 +182,12 @@ type ipRecord struct {
 	inRound      bool
 }
 
-type pendingQuery struct {
-	isPing   bool
-	to       netsim.Endpoint
-	stop     func() bool
-	data     []byte // marshalled query, kept for retransmission
-	attempts int    // transmissions so far
+// Limiter is the crawl-budget hook consulted by the discovery pump; see
+// Config.Limiter. fleet.TokenBucket implements it.
+type Limiter interface {
+	// Take requests up to n message sends at now and returns how many are
+	// granted (0..n).
+	Take(now time.Time, n int) int
 }
 
 // lateWindowMax bounds how many timed-out transactions are remembered for
@@ -185,7 +202,7 @@ type Crawler struct {
 	rng     *rand.Rand
 	id      krpc.NodeID
 	txSeq   uint64
-	pending map[string]*pendingQuery
+	tx      *TxManager
 	ips     map[iputil.Addr]*ipRecord
 	nodeIDs map[krpc.NodeID]bool
 	queue   []netsim.Endpoint
@@ -194,11 +211,6 @@ type Crawler struct {
 	running bool
 	stopped bool
 	stops   []func() bool
-	// lateTx remembers transactions whose query timed out, so a reply
-	// straggling in afterwards is counted rather than silently ignored;
-	// lateOrder is its FIFO eviction order.
-	lateTx    map[string]netsim.Endpoint
-	lateOrder []string
 	// failures counts consecutive dead queries per endpoint; endpoints
 	// reaching EvictAfter enter evicted and leave the frontier.
 	failures map[netsim.Endpoint]int
@@ -220,11 +232,10 @@ func New(sock netsim.Socket, clock dht.Clock, cfg Config) *Crawler {
 		clock:   clock,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		id:      id,
-		pending: make(map[string]*pendingQuery),
+		tx:      NewTxManager(lateWindowMax),
 		ips:     make(map[iputil.Addr]*ipRecord),
 		nodeIDs: make(map[krpc.NodeID]bool),
 		queued:  make(map[netsim.Endpoint]bool),
-		lateTx:  make(map[string]netsim.Endpoint),
 	}
 	if cfg.EvictAfter > 0 {
 		c.failures = make(map[netsim.Endpoint]int)
@@ -272,10 +283,7 @@ func (c *Crawler) Stop() {
 		stop()
 	}
 	c.stops = nil
-	for _, p := range c.pending {
-		p.stop()
-	}
-	c.pending = make(map[string]*pendingQuery)
+	c.tx.CancelAll()
 	c.recordObs()
 }
 
@@ -333,6 +341,11 @@ func (c *Crawler) Stats() Stats {
 	}
 	return s
 }
+
+// InFlight returns the number of currently outstanding query transactions —
+// the live depth of the bounded in-flight queue, reported in fleet worker
+// heartbeats.
+func (c *Crawler) InFlight() int { return c.tx.InFlight() }
 
 // NATed returns all confirmed NATed addresses sorted by address.
 func (c *Crawler) NATed() []NATObservation {
@@ -427,15 +440,27 @@ func (c *Crawler) schedulePingRound() {
 // discovery queue, honouring the per-IP cool-down. Endpoints whose IP is in
 // cool-down are dropped from the queue (not rotated — that would make idle
 // ticks quadratic); the next sweep re-enqueues every known endpoint anyway.
+// Under a fleet budget the batch additionally shrinks to what the Limiter
+// grants, and issuing pauses while MaxInflight transactions are outstanding.
 func (c *Crawler) pump() {
 	now := c.clock.Now()
+	batch := c.cfg.BatchPerTick
+	if c.cfg.Limiter != nil {
+		batch = c.cfg.Limiter.Take(now, batch)
+	}
 	sent := 0
-	for len(c.queue) > 0 && sent < c.cfg.BatchPerTick {
+	for len(c.queue) > 0 && sent < batch {
+		if c.cfg.MaxInflight > 0 && c.tx.InFlight() >= c.cfg.MaxInflight {
+			break
+		}
 		ep := c.queue[0]
 		c.queue = c.queue[1:]
 		delete(c.queued, ep)
 		rec := c.ips[ep.Addr]
 		if rec != nil && now.Sub(rec.lastContact) < c.cfg.Cooldown {
+			continue
+		}
+		if c.cfg.MaxPerNode > 0 && c.tx.Outstanding(ep) >= c.cfg.MaxPerNode {
 			continue
 		}
 		if rec != nil {
@@ -560,9 +585,9 @@ func (c *Crawler) sendQuery(to netsim.Endpoint, msg *krpc.Message, isPing bool) 
 	if err != nil {
 		return
 	}
-	tx := msg.TxID
-	c.pending[tx] = &pendingQuery{isPing: isPing, to: to, data: data, attempts: 1}
-	c.pending[tx].stop = c.armTimeout(tx)
+	tx := &Tx{ID: msg.TxID, To: to, IsPing: isPing, Data: data, Attempts: 1}
+	c.tx.Register(tx)
+	tx.Stop = c.armTimeout(tx.ID)
 	if isPing {
 		c.stats.PingsSent++
 		c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvPingTx, Addr: to.Addr, Port: to.Port})
@@ -583,42 +608,30 @@ func (c *Crawler) armTimeout(tx string) func() bool {
 // it is scored a failure — counted as a timeout, remembered for late-reply
 // accounting, and charged against the endpoint's failure score.
 func (c *Crawler) queryTimeout(tx string) {
-	p, ok := c.pending[tx]
+	p, ok := c.tx.Get(tx)
 	if !ok {
 		return
 	}
-	if c.running && p.attempts <= c.cfg.MaxRetries {
+	if c.running && p.Attempts <= c.cfg.MaxRetries {
 		c.stats.Retries++
-		backoff := c.cfg.RetryBase << (p.attempts - 1)
+		backoff := c.cfg.RetryBase << (p.Attempts - 1)
 		backoff += time.Duration(c.rng.Int63n(int64(backoff)/2 + 1))
-		p.stop = c.clock.After(backoff, func() { c.retransmit(tx) })
+		p.Stop = c.clock.After(backoff, func() { c.retransmit(tx) })
 		return
 	}
-	delete(c.pending, tx)
+	c.tx.Fail(tx)
 	c.stats.Timeouts++
-	c.rememberLate(tx, p.to)
-	c.noteFailure(p.to)
+	c.noteFailure(p.To)
 }
 
 func (c *Crawler) retransmit(tx string) {
-	p, ok := c.pending[tx]
+	p, ok := c.tx.Get(tx)
 	if !ok || !c.running {
 		return
 	}
-	p.attempts++
-	p.stop = c.armTimeout(tx)
-	c.sock.Send(p.to, p.data)
-}
-
-// rememberLate records a timed-out transaction so a straggling response is
-// recognised and counted instead of silently dropped.
-func (c *Crawler) rememberLate(tx string, to netsim.Endpoint) {
-	if len(c.lateOrder) >= lateWindowMax {
-		delete(c.lateTx, c.lateOrder[0])
-		c.lateOrder = c.lateOrder[1:]
-	}
-	c.lateTx[tx] = to
-	c.lateOrder = append(c.lateOrder, tx)
+	p.Attempts++
+	p.Stop = c.armTimeout(tx)
+	c.sock.Send(p.To, p.Data)
 }
 
 // noteFailure charges one dead query against an endpoint; at EvictAfter
@@ -662,26 +675,23 @@ func (c *Crawler) handle(from netsim.Endpoint, payload []byte) {
 	}
 	switch m.Kind {
 	case krpc.KindResponse:
-		p, ok := c.pending[m.TxID]
+		p, ok := c.tx.Resolve(m.TxID)
 		if !ok {
 			// A response to a query already scored a timeout: count it,
 			// log it, and clear the endpoint's failure score, but do not
 			// feed it into discovery — its round is over.
-			if to, late := c.lateTx[m.TxID]; late {
-				delete(c.lateTx, m.TxID)
+			if to, late := c.tx.ResolveLate(m.TxID); late {
 				c.stats.LateReplies++
 				c.noteSuccess(to)
 				c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvLateRx, Addr: from.Addr, Port: from.Port, NodeID: m.ID, HasID: true})
 			}
 			return
 		}
-		delete(c.pending, m.TxID)
-		p.stop()
-		c.noteSuccess(p.to)
+		c.noteSuccess(p.To)
 		// Responses can legitimately come from a different port than the
 		// one probed (NAT rewriting); record what we actually saw.
 		c.observe(from, m.ID, c.clock.Now())
-		if p.isPing {
+		if p.IsPing {
 			c.stats.PingReplies++
 			c.logEvent(LogEvent{At: c.clock.Now(), Kind: EvPingRx, Addr: from.Addr, Port: from.Port, NodeID: m.ID, HasID: true})
 			rec := c.ips[from.Addr]

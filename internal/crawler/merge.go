@@ -46,7 +46,16 @@ func MergeObservations(groups ...[]NATObservation) []NATObservation {
 
 // MergeStats combines per-vantage crawl statistics: counters add up, unique
 // counts take the union sizes supplied by the caller (pass the merged sets'
-// sizes), and the response rate is recomputed over the combined traffic.
+// sizes), and the response rate is recomputed over the combined traffic —
+// never averaged, so a merge of all-zero stats stays 0 instead of NaN.
+//
+// SimultaneousMax is the maximum across vantages, not the sum: each
+// vantage's value is a lower bound on simultaneous users behind one
+// address, established by one ping round's distinct (port, node_id) count.
+// Two vantages may count the same users, so adding the bounds could exceed
+// the truth; the largest single bound is the tightest claim that is still
+// guaranteed valid. The merge is order-invariant: every field is a sum, a
+// max, or derived from sums.
 func MergeStats(stats ...Stats) Stats {
 	var out Stats
 	for _, s := range stats {

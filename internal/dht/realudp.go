@@ -109,6 +109,20 @@ func (s *RealSocket) Close() {
 // the swarm mutex.
 func (s *RealSocket) Wait() { s.wg.Wait() }
 
+// ListenLoopback binds a fresh UDP socket on 127.0.0.1 (kernel-chosen port)
+// and wraps it in a RealSocket sharing mu. It returns the socket and its
+// bound endpoint — the standard way the crawler's real mode and the fleet
+// control plane obtain loopback sockets.
+func ListenLoopback(mu *sync.Mutex) (*RealSocket, netsim.Endpoint, error) {
+	pc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		return nil, netsim.Endpoint{}, err
+	}
+	s := NewRealSocket(pc, mu)
+	ep, _ := s.PublicEndpoint()
+	return s, ep, nil
+}
+
 // LockedClock wraps a Clock so every timer callback runs while holding mu;
 // use with RealSocket for wall-clock swarms.
 func LockedClock(mu *sync.Mutex, inner Clock) Clock {

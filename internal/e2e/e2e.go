@@ -36,7 +36,7 @@ import (
 )
 
 // commands are the pipeline binaries the harness builds and forks.
-var commands = []string{"blgen", "blcrawl", "bldetect", "blserve"}
+var commands = []string{"blgen", "blcrawl", "bldetect", "blserve", "blfleet"}
 
 var binState struct {
 	once sync.Once

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Budget is the fleet-wide crawl budget: an aggregate sustained query rate
+// (queries/sec across all workers) plus a cap on outstanding transactions
+// per worker. A zero field means "unlimited" for that dimension, matching
+// the crawler's own zero-value semantics.
+type Budget struct {
+	// Rate is the aggregate sustained query rate for the whole fleet, in
+	// queries per second. 0 disables rate limiting.
+	Rate float64
+	// Burst is the per-worker token-bucket depth in queries. 0 picks a
+	// default of one second's worth of the worker's share (min 1).
+	Burst int
+	// MaxInflight is the per-worker bound on outstanding transactions.
+	// 0 leaves in-flight work unbounded.
+	MaxInflight int
+}
+
+// Split partitions the aggregate rate across n workers such that the shares
+// sum exactly to the total (the last worker absorbs the floating-point
+// remainder). Reassignment keeps the invariant: a restarted worker inherits
+// the dead worker's share, so live allocations always sum to Rate.
+func (b Budget) Split(n int) []Budget {
+	if n < 1 {
+		return nil
+	}
+	out := make([]Budget, n)
+	per := b.Rate / float64(n)
+	var allotted float64
+	for i := range out {
+		share := per
+		if i == n-1 {
+			share = b.Rate - allotted
+		}
+		allotted += share
+		out[i] = Budget{Rate: share, Burst: b.Burst, MaxInflight: b.MaxInflight}
+	}
+	return out
+}
+
+// String renders the budget for logs and manifests.
+func (b Budget) String() string {
+	if b.Rate <= 0 && b.MaxInflight <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("rate=%.6g/s burst=%d max-inflight=%d", b.Rate, b.Burst, b.MaxInflight)
+}
+
+// TokenBucket is a deterministic token bucket over the crawl clock (the
+// simulation clock in simulated runs, wall time in real ones). It implements
+// crawler.Limiter: each pump tick asks for its batch and is granted whatever
+// whole tokens have accrued, up to the burst depth.
+//
+// Determinism: the bucket's state is a pure function of the sequence of
+// (now, n) calls, and the crawler's pump ticks at fixed simulated intervals,
+// so for a seeded world the grant sequence — and therefore the crawl — is
+// reproducible regardless of host timing.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// NewTokenBucket returns a bucket granting rate tokens/sec with the given
+// burst depth. burst <= 0 defaults to one second of rate (minimum 1). A
+// rate <= 0 returns nil, which crawler.Config treats as "no limiter".
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	depth := float64(burst)
+	if burst <= 0 {
+		depth = math.Max(1, rate)
+	}
+	return &TokenBucket{rate: rate, burst: depth, tokens: depth}
+}
+
+// Take implements crawler.Limiter: it accrues tokens for the time elapsed
+// since the previous call and grants up to n whole tokens.
+func (tb *TokenBucket) Take(now time.Time, n int) int {
+	if tb == nil {
+		return n
+	}
+	if !tb.primed {
+		tb.last, tb.primed = now, true
+	}
+	if d := now.Sub(tb.last); d > 0 {
+		tb.tokens = math.Min(tb.burst, tb.tokens+tb.rate*d.Seconds())
+	}
+	tb.last = now
+	grant := int(tb.tokens)
+	if grant > n {
+		grant = n
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	tb.tokens -= float64(grant)
+	return grant
+}

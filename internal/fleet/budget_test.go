@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBudgetSplitSumsExact pins the allocation invariant: the per-shard
+// shares always sum to exactly the aggregate rate, whatever N, so a fleet
+// never exceeds (or silently under-uses) its budget.
+func TestBudgetSplitSumsExact(t *testing.T) {
+	for _, rate := range []float64{0, 1, 10, 33.3, 1000, 0.7} {
+		for n := 1; n <= 13; n++ {
+			parts := Budget{Rate: rate, Burst: 5, MaxInflight: 9}.Split(n)
+			if len(parts) != n {
+				t.Fatalf("Split(%d) returned %d parts", n, len(parts))
+			}
+			var sum float64
+			for _, p := range parts {
+				sum += p.Rate
+				if p.Burst != 5 || p.MaxInflight != 9 {
+					t.Fatalf("Split(%d) dropped burst/inflight: %+v", n, p)
+				}
+			}
+			if sum != rate {
+				t.Fatalf("Split(%d) of rate %v sums to %v (off by %g)", n, rate, sum, sum-rate)
+			}
+		}
+	}
+	if (Budget{}).Split(0) != nil {
+		t.Fatal("Split(0) should return nil")
+	}
+}
+
+// TestBudgetReassignmentConserved models a restart: the dead worker's share
+// moves to its replacement, so live allocations still sum to the total.
+func TestBudgetReassignmentConserved(t *testing.T) {
+	total := Budget{Rate: 100}
+	parts := total.Split(3)
+	// Worker 2 dies; its replacement inherits parts[1] untouched.
+	replacement := parts[1]
+	live := []Budget{parts[0], replacement, parts[2]}
+	var sum float64
+	for _, p := range live {
+		sum += p.Rate
+	}
+	if math.Abs(sum-total.Rate) > 1e-12 {
+		t.Fatalf("after reassignment live shares sum to %v, want %v", sum, total.Rate)
+	}
+}
+
+func TestTokenBucketGrants(t *testing.T) {
+	tb := NewTokenBucket(10, 5) // 10/s, burst 5
+	t0 := time.Unix(0, 0)
+	if got := tb.Take(t0, 100); got != 5 {
+		t.Fatalf("initial burst grant = %d, want 5", got)
+	}
+	if got := tb.Take(t0, 100); got != 0 {
+		t.Fatalf("drained bucket granted %d, want 0", got)
+	}
+	// 300ms accrues 3 tokens.
+	if got := tb.Take(t0.Add(300*time.Millisecond), 100); got != 3 {
+		t.Fatalf("after 300ms grant = %d, want 3", got)
+	}
+	// Accrual caps at burst depth.
+	if got := tb.Take(t0.Add(time.Hour), 100); got != 5 {
+		t.Fatalf("after 1h grant = %d, want burst 5", got)
+	}
+	// Grants never exceed the ask.
+	if got := tb.Take(t0.Add(2*time.Hour), 2); got != 2 {
+		t.Fatalf("asked 2, granted %d", got)
+	}
+}
+
+// TestTokenBucketDeterministic: identical (now, n) call sequences produce
+// identical grant sequences — the property that keeps budgeted crawls
+// reproducible.
+func TestTokenBucketDeterministic(t *testing.T) {
+	run := func() []int {
+		tb := NewTokenBucket(7.5, 3)
+		t0 := time.Unix(1000, 0)
+		var grants []int
+		for i := 0; i < 200; i++ {
+			grants = append(grants, tb.Take(t0.Add(time.Duration(i)*137*time.Millisecond), 4))
+		}
+		return grants
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTokenBucketNil(t *testing.T) {
+	if tb := NewTokenBucket(0, 5); tb != nil {
+		t.Fatal("rate 0 should return nil (no limiter)")
+	}
+	var tb *TokenBucket
+	if got := tb.Take(time.Now(), 7); got != 7 {
+		t.Fatalf("nil bucket granted %d, want pass-through 7", got)
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	tb := NewTokenBucket(12, 0)
+	if got := tb.Take(time.Unix(0, 0), 100); got != 12 {
+		t.Fatalf("default burst grant = %d, want one second of rate (12)", got)
+	}
+	tb = NewTokenBucket(0.2, 0)
+	if got := tb.Take(time.Unix(0, 0), 100); got != 1 {
+		t.Fatalf("sub-1 rate default burst grant = %d, want minimum 1", got)
+	}
+}

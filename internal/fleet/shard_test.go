@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ShardSpec
+		wantErr bool
+	}{
+		{"", ShardSpec{1, 1}, false},
+		{"1/1", ShardSpec{1, 1}, false},
+		{"1/4", ShardSpec{1, 4}, false},
+		{"4/4", ShardSpec{4, 4}, false},
+		{"0/4", ShardSpec{}, true},
+		{"5/4", ShardSpec{}, true},
+		{"-1/4", ShardSpec{}, true},
+		{"1/0", ShardSpec{}, true},
+		{"1/-2", ShardSpec{}, true},
+		{"nonsense", ShardSpec{}, true},
+		{"1", ShardSpec{}, true},
+		{"/", ShardSpec{}, true},
+		{"1/2/3", ShardSpec{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseShard(%q): err = %v, wantErr = %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseShardRoundTrip(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for i := 1; i <= n; i++ {
+			spec := ShardSpec{Index: i, N: n}
+			back, err := ParseShard(spec.String())
+			if err != nil {
+				t.Fatalf("ParseShard(%q): %v", spec.String(), err)
+			}
+			if back != spec {
+				t.Fatalf("round trip %+v -> %q -> %+v", spec, spec.String(), back)
+			}
+		}
+	}
+}
+
+// TestShardPartitionProperty pins the planner's load-bearing invariant: for
+// any N, the shard scopes parsed back from their wire form partition the
+// crawl scope exactly — every in-scope address lands in exactly one shard
+// (no hole, no overlap), except the bootstrap, which deliberately appears in
+// every shard's scope.
+func TestShardPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	scopeLo := iputil.MustParseAddr("60.0.0.0")
+	scopeHi := iputil.MustParseAddr("60.0.255.255")
+	scope := func(a iputil.Addr) bool { return a >= scopeLo && a <= scopeHi }
+	bootstrap := iputil.MustParseAddr("60.0.7.1")
+
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+		shards, err := PlanShards(n)
+		if err != nil {
+			t.Fatalf("PlanShards(%d): %v", n, err)
+		}
+		if len(shards) != n {
+			t.Fatalf("PlanShards(%d) returned %d shards", n, len(shards))
+		}
+		// The planner's specs must survive the wire: parse each back from
+		// its -shard flag form before deriving the scope, exactly the path
+		// a worker process takes.
+		scopes := make([]func(iputil.Addr) bool, n)
+		for i, sh := range shards {
+			parsed, err := ParseShard(sh.String())
+			if err != nil {
+				t.Fatalf("ParseShard(%q): %v", sh.String(), err)
+			}
+			if parsed != sh {
+				t.Fatalf("shard %d: wire round trip changed %+v -> %+v", i, sh, parsed)
+			}
+			scopes[i] = parsed.Scope(scope, bootstrap)
+		}
+
+		// 2k random in-scope addresses plus the boundary cases.
+		probe := []iputil.Addr{scopeLo, scopeHi, bootstrap, bootstrap + 1, bootstrap - 1}
+		for len(probe) < 2005 {
+			off := rng.Intn(int(scopeHi - scopeLo + 1))
+			probe = append(probe, scopeLo+iputil.Addr(off))
+		}
+		for _, a := range probe {
+			owners := 0
+			for _, cover := range scopes {
+				if cover(a) {
+					owners++
+				}
+			}
+			switch {
+			case a == bootstrap:
+				if owners != n {
+					t.Fatalf("N=%d: bootstrap %s in %d shards, want all %d", n, a, owners, n)
+				}
+			default:
+				if owners != 1 {
+					t.Fatalf("N=%d: address %s in %d shards, want exactly 1", n, a, owners)
+				}
+			}
+		}
+
+		// Out-of-scope addresses belong to no shard.
+		for _, a := range []iputil.Addr{scopeLo - 1, scopeHi + 1, iputil.MustParseAddr("10.0.0.1")} {
+			for i, cover := range scopes {
+				if cover(a) {
+					t.Fatalf("N=%d: out-of-scope %s admitted by shard %d", n, a, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestShardScopeWholeIsIdentity(t *testing.T) {
+	scope := func(a iputil.Addr) bool { return a%2 == 0 }
+	sh := ShardSpec{Index: 1, N: 1}
+	got := sh.Scope(scope, iputil.MustParseAddr("1.2.3.4"))
+	for _, a := range []iputil.Addr{0, 1, 2, 3, 100, 101} {
+		if got(a) != scope(a) {
+			t.Fatalf("1/1 shard scope diverged from base scope at %v", a)
+		}
+	}
+}

@@ -107,6 +107,15 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add moves the gauge by delta (negative to decrease) — live occupancy
+// tracking (workers alive, requests in flight) where concurrent increments
+// and decrements must not lose updates the way a read-modify-Set would.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // SetMax raises the gauge to v if v exceeds the stored value — a running
 // maximum (peak queue occupancy, worst stage).
 func (g *Gauge) SetMax(v int64) {

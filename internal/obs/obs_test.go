@@ -47,6 +47,57 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+// TestGaugeAdd pins the occupancy-tracking contract: Add moves the value by
+// a delta (negative to decrease), can go below zero, is concurrency-safe
+// (no lost updates the way read-modify-Set would lose them), and the result
+// shows up in both render surfaces.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("live")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge after +3+4-5 = %d, want 2", got)
+	}
+	g.Add(-3)
+	if got := g.Value(); got != -1 {
+		t.Errorf("gauge may go negative: got %d, want -1", got)
+	}
+	var nilG *Gauge
+	nilG.Add(7) // must not panic
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != -1 {
+		t.Errorf("concurrent balanced Adds drifted: got %d, want -1", got)
+	}
+
+	g.Add(5) // settle at 4 for rendering
+	if text := r.RenderText(true); !strings.Contains(text, "live 4") {
+		t.Errorf("RenderText missing gauge: %s", text)
+	}
+	found := false
+	for _, m := range r.Snapshot(true) {
+		if m.Name == "live" && m.Value == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Snapshot missing live=4: %+v", r.Snapshot(true))
+	}
+}
+
 // TestHistogramBucketBoundaries pins the `le` (inclusive upper bound)
 // semantics: a value equal to a bound lands in that bound's bucket, a value
 // just above it lands in the next, and values beyond every bound land in
