@@ -65,6 +65,19 @@ type Config struct {
 	// nothing: output stays byte-identical to a fault-free run.
 	Faults *faults.Scenario
 
+	// Shards partitions each vantage's simulated fabric into this many
+	// independently clocked event-loop shards advancing in conservative
+	// lockstep windows (netsim.ShardGroup). 0 or 1 (the default) keeps the
+	// single-threaded fabric and byte-identical artifacts; sharded runs are
+	// deterministic per shard count but not byte-equal to monolithic ones.
+	// Incompatible with Faults.
+	Shards int
+	// Compact switches swarm nodes to pooled compact state with an 8-byte
+	// RNG, cutting per-host memory roughly in half at paper scale. Changes
+	// RNG sequences, so artifacts differ from default-scale goldens;
+	// intended for scale worlds (see BENCH_scale.json).
+	Compact bool
+
 	// Workers bounds the parallelism of every deterministic fan-out in the
 	// study: the independent measurement stages (crawl, RIPE pipeline,
 	// ICMP baseline, survey), the per-vantage crawl simulations, feed
@@ -294,14 +307,16 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int, crawlSpan *obs.Span) erro
 			RestartsPerDay: s.Config.RestartsPerDay,
 			ChurnHorizon:   s.Config.CrawlDuration,
 			Faults:         s.Config.Faults,
+			Shards:         s.Config.Shards,
+			ShardWorkers:   s.Config.Workers,
+			Compact:        s.Config.Compact,
 		}, scopeSet.Covers)
 		if err != nil {
 			vsp.SetAttr(obs.String("error", err.Error()))
 			return vantageRun{err: err}
 		}
-		sock, err := swarm.Net.Listen(netsim.Endpoint{
-			Addr: iputil.AddrFrom4(198, 18, byte(v), 1), Port: 9999,
-		})
+		vantageAddr := iputil.AddrFrom4(198, 18, byte(v), 1)
+		sock, err := swarm.Listen(netsim.Endpoint{Addr: vantageAddr, Port: 9999})
 		if err != nil {
 			vsp.SetAttr(obs.String("error", err.Error()))
 			return vantageRun{err: err}
@@ -321,18 +336,21 @@ func (s *Study) runCrawl(natUsers map[iputil.Addr]int, crawlSpan *obs.Span) erro
 			crawlCfg.RetryBase = 2 * time.Second
 			crawlCfg.EvictAfter = 4
 		}
-		c := crawler.New(sock, dht.SimClock(swarm.Clock), crawlCfg)
+		// The crawler schedules on the clock owning its vantage address; on
+		// a sharded fabric that is one shard of the group, and RunFor
+		// advances every shard in lockstep.
+		c := crawler.New(sock, dht.SimClock(swarm.ClockAt(vantageAddr)), crawlCfg)
 		// Let NATed users' mappings open before crawling starts.
-		swarm.Clock.RunFor(time.Minute)
+		swarm.RunFor(time.Minute)
 		c.Start()
-		swarm.Clock.RunFor(s.Config.CrawlDuration)
+		swarm.RunFor(s.Config.CrawlDuration)
 		c.Stop()
 		st := c.Stats()
 		vsp.SetAttr(obs.Int("queries", st.MessagesSent))
 		vsp.SetAttr(obs.Int("replies", st.MessagesReceived))
 		vsp.SetAttr(obs.Int("unique_ips", int64(st.UniqueIPs)))
 		return vantageRun{stats: st, nated: c.NATed(), ips: c.ObservedIPs(),
-			faults: swarm.Injector.Stats(), net: swarm.Net.Stats()}
+			faults: swarm.Injector.Stats(), net: swarm.NetStats()}
 	})
 	var statParts []crawler.Stats
 	var obsParts [][]crawler.NATObservation

@@ -21,8 +21,12 @@ import (
 
 // Swarm is the instantiated BitTorrent population.
 type Swarm struct {
-	Clock     *netsim.Clock
-	Net       *netsim.Network
+	// Clock and Net are the monolithic fabric; nil when the swarm was built
+	// sharded (use RunFor / Listen / ClockAt / NetStats, which dispatch).
+	Clock *netsim.Clock
+	Net   *netsim.Network
+	// Group is the sharded fabric; nil on the default monolithic path.
+	Group     *netsim.ShardGroup
 	Nodes     []*dht.Node
 	Endpoints []netsim.Endpoint // public endpoints known at build time
 	NATs      map[iputil.Addr]*netsim.NAT
@@ -31,6 +35,60 @@ type Swarm struct {
 	Bootstrap netsim.Endpoint
 	// Injector is the wire-level fault injector, nil on fault-free swarms.
 	Injector *faults.Injector
+
+	arena   dht.NodeArena // backing storage for all node state
+	compact bool          // nodes use the compact RNG (SwarmConfig.Compact)
+}
+
+// clockFor returns the event clock owning addr.
+func (s *Swarm) clockFor(a iputil.Addr) *netsim.Clock {
+	if s.Group != nil {
+		return s.Group.ShardFor(a).Clock
+	}
+	return s.Clock
+}
+
+// netFor returns the fabric slice owning addr.
+func (s *Swarm) netFor(a iputil.Addr) *netsim.Network {
+	if s.Group != nil {
+		return s.Group.ShardFor(a).Net
+	}
+	return s.Net
+}
+
+// RunFor advances the swarm's virtual time by d — across all shards in
+// lockstep when the fabric is sharded.
+func (s *Swarm) RunFor(d time.Duration) {
+	if s.Group != nil {
+		s.Group.RunFor(d)
+		return
+	}
+	s.Clock.RunFor(d)
+}
+
+// Now returns the swarm's virtual time.
+func (s *Swarm) Now() time.Time {
+	if s.Group != nil {
+		return s.Group.Now()
+	}
+	return s.Clock.Now()
+}
+
+// Listen binds a public endpoint on whichever fabric slice owns its address.
+func (s *Swarm) Listen(ep netsim.Endpoint) (netsim.Socket, error) {
+	return s.netFor(ep.Addr).Listen(ep)
+}
+
+// ClockAt returns the clock owning addr; components living at a fixed
+// address (such as a crawler) must schedule on their own shard's clock.
+func (s *Swarm) ClockAt(a iputil.Addr) *netsim.Clock { return s.clockFor(a) }
+
+// NetStats sums fabric traffic counters across shards.
+func (s *Swarm) NetStats() netsim.Stats {
+	if s.Group != nil {
+		return s.Group.Stats()
+	}
+	return s.Net.Stats()
 }
 
 // SwarmConfig tunes swarm instantiation.
@@ -59,6 +117,21 @@ type SwarmConfig struct {
 	// find_node neighbours, and restart storms churn public users at the
 	// scripted instants. Nil changes nothing.
 	Faults *faults.Scenario
+	// Shards > 1 partitions the fabric by /16 address block into that many
+	// independently clocked event loops advancing in conservative lockstep
+	// windows (see netsim.ShardGroup). 0 or 1 keeps the monolithic fabric,
+	// byte-identical to previous releases. Sharded runs are deterministic
+	// for a fixed shard count but draw per-shard RNG streams, so their
+	// artifacts differ from monolithic goldens. Incompatible with Faults.
+	Shards int
+	// ShardWorkers bounds how many shards execute concurrently within one
+	// window; any value produces identical results. Default 1.
+	ShardWorkers int
+	// Compact swaps each node's private RNG for an 8-byte splitmix64 state
+	// (the stock math/rand source costs 4.9 KiB per node — half the
+	// per-host footprint at paper scale). Different RNG sequence, so
+	// artifacts differ from golden runs; intended for scale worlds.
+	Compact bool
 }
 
 func (c *SwarmConfig) applyDefaults() {
@@ -85,23 +158,35 @@ func (c *SwarmConfig) applyDefaults() {
 // seeded with a random mesh so the crawler can traverse the whole swarm.
 func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool) (*Swarm, error) {
 	cfg.applyDefaults()
-	clock := netsim.NewClock()
-	inj, err := faults.NewInjector(cfg.Faults, cfg.Seed^0x464c5453, clock) // "FLTS"
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	netCfg := netsim.Config{
 		Loss:          cfg.Loss,
 		LatencyBase:   cfg.LatencyBase,
 		LatencyJitter: cfg.LatencyJitter,
 		Seed:          cfg.Seed ^ 0x4e455453, // "NETS"
 	}
-	inj.Install(&netCfg)
-	net, err := netsim.NewNetwork(clock, netCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	s := &Swarm{NATs: make(map[iputil.Addr]*netsim.NAT), compact: cfg.Compact}
+	if cfg.Shards > 1 {
+		if cfg.Faults != nil {
+			return nil, fmt.Errorf("core: fault scenarios require the monolithic fabric (Shards <= 1)")
+		}
+		group, err := netsim.NewShardGroup(cfg.Shards, cfg.ShardWorkers, netCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.Group = group
+	} else {
+		clock := netsim.NewClock()
+		inj, err := faults.NewInjector(cfg.Faults, cfg.Seed^0x464c5453, clock) // "FLTS"
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		inj.Install(&netCfg)
+		net, err := netsim.NewNetwork(clock, netCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.Clock, s.Net, s.Injector = clock, net, inj
 	}
-	s := &Swarm{Clock: clock, Net: net, NATs: make(map[iputil.Addr]*netsim.NAT), Injector: inj}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5357524d)) // "SWRM"
 
 	var byz *faults.Byzantine
@@ -119,7 +204,7 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 				if truth != nil && truth.Restricted {
 					filtering = netsim.AddressRestricted
 				}
-				nat, err = netsim.NewNAT(net, netsim.NATConfig{
+				nat, err = netsim.NewNAT(s.netFor(u.PublicAddr), netsim.NATConfig{
 					PublicAddr: u.PublicAddr,
 					Filtering:  filtering,
 					MappingTTL: cfg.NATMappingTTL,
@@ -131,16 +216,17 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 			}
 			sock, err = nat.Listen(u.PrivateAddr, u.Port)
 		} else {
-			sock, err = net.Listen(netsim.Endpoint{Addr: u.PublicAddr, Port: u.Port})
+			sock, err = s.netFor(u.PublicAddr).Listen(netsim.Endpoint{Addr: u.PublicAddr, Port: u.Port})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: user %d: %w", u.ID, err)
 		}
 		nodeCfg := dht.Config{
-			PrivateIP: u.PrivateAddr,
-			IDSeed:    uint64(u.ID),
-			Seed:      int64(u.ID) * 7919,
-			Version:   "RB01",
+			PrivateIP:  u.PrivateAddr,
+			IDSeed:     uint64(u.ID),
+			Seed:       int64(u.ID) * 7919,
+			Version:    "RB01",
+			CompactRNG: cfg.Compact,
 		}
 		if u.BehindNAT {
 			nodeCfg.KeepaliveInterval = cfg.NATKeepalive
@@ -152,7 +238,7 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 			nodeCfg.Byzantine = true
 			nodeCfg.ByzantineNodes = byz.Nodes
 		}
-		node := dht.NewNode(sock, dht.SimClock(clock), nodeCfg)
+		node := s.arena.NewNode(sock, dht.SimClock(s.clockFor(u.PublicAddr)), nodeCfg)
 		s.Nodes = append(s.Nodes, node)
 		s.Endpoints = append(s.Endpoints, netsim.Endpoint{Addr: u.PublicAddr, Port: u.Port})
 	}
@@ -233,21 +319,25 @@ func BuildSwarm(w *blgen.World, cfg SwarmConfig, inScope func(iputil.Addr) bool)
 // node closes, rebinds on a fresh port, regenerates its node ID (the paper's
 // reboot behaviour), and rejoins via a known neighbour.
 func (s *Swarm) scheduleRestart(w *blgen.World, j int, at time.Duration, seed int64) {
-	s.Clock.After(at, func() {
+	// A restarted client keeps its address (only the port moves), so its
+	// owning clock and fabric slice never change.
+	clock := s.clockFor(s.Endpoints[j].Addr)
+	clock.After(at, func() {
 		old := s.Nodes[j]
 		oldEp := s.Endpoints[j]
 		neighbours := old.Closest(old.ID(), 4)
 		old.Close()
 		newEp := netsim.Endpoint{Addr: oldEp.Addr, Port: oldEp.Port + 1 + uint16(seed%977)}
-		sock, err := s.Net.Listen(newEp)
+		sock, err := s.netFor(newEp.Addr).Listen(newEp)
 		if err != nil {
 			// Port collision with another binding: skip this restart.
 			return
 		}
-		node := dht.NewNode(sock, dht.SimClock(s.Clock), dht.Config{
-			PrivateIP: newEp.Addr,
-			IDSeed:    uint64(seed), // fresh random part -> fresh node ID
-			Seed:      seed,
+		node := s.arena.NewNode(sock, dht.SimClock(clock), dht.Config{
+			PrivateIP:  newEp.Addr,
+			IDSeed:     uint64(seed), // fresh random part -> fresh node ID
+			Seed:       seed,
+			CompactRNG: s.compact,
 		})
 		for _, info := range neighbours {
 			node.AddNode(info)

@@ -16,32 +16,83 @@ import (
 // the maximum any vantage established (each is a valid lower bound); ports
 // seen and the earliest confirmation are combined.
 func MergeObservations(groups ...[]NATObservation) []NATObservation {
-	byAddr := make(map[iputil.Addr]NATObservation)
-	for _, group := range groups {
-		for _, o := range group {
-			cur, ok := byAddr[o.Addr]
-			if !ok {
-				byAddr[o.Addr] = o
-				continue
-			}
-			if o.Users > cur.Users {
-				cur.Users = o.Users
-			}
-			if o.PortsSeen > cur.PortsSeen {
-				cur.PortsSeen = o.PortsSeen
-			}
-			if o.FirstConfirmed.Before(cur.FirstConfirmed) {
-				cur.FirstConfirmed = o.FirstConfirmed
-			}
-			byAddr[o.Addr] = cur
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	return MergeObservationsInto(make([]NATObservation, 0, total), groups...)
+}
+
+// MergeObservationsInto is the allocation-free form of MergeObservations: a
+// k-way merge into dst (grown from dst[:0]), exploiting that Crawler.NATed
+// returns observations sorted by address. Every combining operation is a
+// max or a min, so the result is invariant under group order. When dst has
+// capacity for the result and all groups are sorted — the crawl pipeline's
+// steady state — the merge allocates nothing; an unsorted group (legal, but
+// nothing in the repo produces one) is sorted into a private copy first.
+// The previous map-based merge rebuilt and re-sorted the whole address
+// universe on every call, which at paper scale meant hundreds of megabytes
+// of transient garbage per merge window.
+func MergeObservationsInto(dst []NATObservation, groups ...[]NATObservation) []NATObservation {
+	dst = dst[:0]
+	for g, group := range groups {
+		if !obsSorted(group) {
+			cp := append([]NATObservation(nil), group...)
+			sort.Slice(cp, func(i, j int) bool { return cp[i].Addr < cp[j].Addr })
+			groups[g] = cp
 		}
 	}
-	out := make([]NATObservation, 0, len(byAddr))
-	for _, o := range byAddr {
-		out = append(out, o)
+	var idxBuf [16]int
+	var idx []int
+	if len(groups) <= len(idxBuf) {
+		idx = idxBuf[:len(groups)]
+	} else {
+		idx = make([]int, len(groups))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
+	for {
+		best := -1
+		var bestAddr iputil.Addr
+		for g, group := range groups {
+			if idx[g] >= len(group) {
+				continue
+			}
+			if a := group[idx[g]].Addr; best < 0 || a < bestAddr {
+				best, bestAddr = g, a
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		merged := groups[best][idx[best]]
+		idx[best]++
+		// Consume every remaining observation of this address, across all
+		// groups and within each (a group may carry duplicates).
+		for g, group := range groups {
+			for idx[g] < len(group) && group[idx[g]].Addr == bestAddr {
+				o := group[idx[g]]
+				if o.Users > merged.Users {
+					merged.Users = o.Users
+				}
+				if o.PortsSeen > merged.PortsSeen {
+					merged.PortsSeen = o.PortsSeen
+				}
+				if o.FirstConfirmed.Before(merged.FirstConfirmed) {
+					merged.FirstConfirmed = o.FirstConfirmed
+				}
+				idx[g]++
+			}
+		}
+		dst = append(dst, merged)
+	}
+}
+
+func obsSorted(g []NATObservation) bool {
+	for i := 1; i < len(g); i++ {
+		if g[i].Addr < g[i-1].Addr {
+			return false
+		}
+	}
+	return true
 }
 
 // MergeStats combines per-vantage crawl statistics: counters add up, unique

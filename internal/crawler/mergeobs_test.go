@@ -1,0 +1,154 @@
+package crawler
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/reuseblock/reuseblock/internal/iputil"
+)
+
+// refMerge is the pre-refactor map-based merge, kept as the oracle.
+func refMerge(groups ...[]NATObservation) []NATObservation {
+	byAddr := make(map[iputil.Addr]NATObservation)
+	for _, group := range groups {
+		for _, o := range group {
+			cur, ok := byAddr[o.Addr]
+			if !ok {
+				byAddr[o.Addr] = o
+				continue
+			}
+			if o.Users > cur.Users {
+				cur.Users = o.Users
+			}
+			if o.PortsSeen > cur.PortsSeen {
+				cur.PortsSeen = o.PortsSeen
+			}
+			if o.FirstConfirmed.Before(cur.FirstConfirmed) {
+				cur.FirstConfirmed = o.FirstConfirmed
+			}
+			byAddr[o.Addr] = cur
+		}
+	}
+	out := make([]NATObservation, 0, len(byAddr))
+	for _, o := range byAddr {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func genObsGroups(rng *rand.Rand, groups, perGroup int) [][]NATObservation {
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([][]NATObservation, groups)
+	for g := range out {
+		for i := 0; i < perGroup; i++ {
+			// Small address space forces heavy cross-group overlap.
+			out[g] = append(out[g], NATObservation{
+				Addr:           iputil.Addr(rng.Intn(perGroup * 2)),
+				Users:          2 + rng.Intn(9),
+				PortsSeen:      1 + rng.Intn(30),
+				FirstConfirmed: base.Add(time.Duration(rng.Intn(3600)) * time.Second),
+			})
+		}
+		sort.Slice(out[g], func(i, j int) bool { return out[g][i].Addr < out[g][j].Addr })
+	}
+	return out
+}
+
+func obsEqual(t *testing.T, got, want []NATObservation, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d observations, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: observation %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeObservationsMatchesReference pins the k-way merge to the map-based
+// oracle over randomized overlapping groups, including unsorted inputs.
+func TestMergeObservationsMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		groups := genObsGroups(rng, 1+rng.Intn(5), 1+rng.Intn(200))
+		want := refMerge(groups...)
+		obsEqual(t, MergeObservations(groups...), want, "sorted inputs")
+
+		// An unsorted group must still merge correctly (slow path).
+		shuffled := make([][]NATObservation, len(groups))
+		for g := range groups {
+			cp := append([]NATObservation(nil), groups[g]...)
+			rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+			shuffled[g] = cp
+		}
+		obsEqual(t, MergeObservations(shuffled...), want, "unsorted inputs")
+	}
+}
+
+// TestMergeObservationsOrderInvariant: every combining op is a max or min,
+// so permuting the groups must not change a single byte of the result.
+func TestMergeObservationsOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	groups := genObsGroups(rng, 4, 300)
+	want := MergeObservations(groups...)
+	for trial := 0; trial < 8; trial++ {
+		perm := rng.Perm(len(groups))
+		permuted := make([][]NATObservation, len(groups))
+		for i, p := range perm {
+			permuted[i] = groups[p]
+		}
+		obsEqual(t, MergeObservations(permuted...), want, "permuted groups")
+	}
+}
+
+// TestMergeObservationsIntoZeroAlloc enforces the whole point of the Into
+// form: with a capacious dst and sorted groups, merging allocates nothing
+// (the budget of 1 tolerates testing-harness noise only).
+func TestMergeObservationsIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	groups := genObsGroups(rng, 4, 2000)
+	dst := make([]NATObservation, 0, 4*2000)
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = MergeObservationsInto(dst, groups...)
+	})
+	if allocs > 1 {
+		t.Fatalf("MergeObservationsInto allocated %.1f objects/op, want <= 1", allocs)
+	}
+	obsEqual(t, dst, refMerge(groups...), "zero-alloc merge result")
+}
+
+// TestMergeObservationsIntoReusesDst: successive merges into the same dst
+// must not leak earlier results.
+func TestMergeObservationsIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := genObsGroups(rng, 3, 100)
+	b := genObsGroups(rng, 2, 50)
+	dst := MergeObservationsInto(nil, a...)
+	dst = MergeObservationsInto(dst, b...)
+	obsEqual(t, dst, refMerge(b...), "second merge into reused dst")
+}
+
+func BenchmarkMergeObservationsInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	groups := genObsGroups(rng, 4, 50000)
+	dst := make([]NATObservation, 0, 4*50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = MergeObservationsInto(dst, groups...)
+	}
+}
+
+func BenchmarkMergeObservationsMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	groups := genObsGroups(rng, 4, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refMerge(groups...)
+	}
+}

@@ -1,0 +1,37 @@
+package dht
+
+// splitmixSource is a rand.Source64 with eight bytes of state, standing in
+// for math/rand's default lagged-Fibonacci source when Config.CompactRNG is
+// set. The default source carries a 607-word (4.9 KiB) table per instance —
+// by far the largest allocation of a simulated DHT node — which is fine for
+// thousands of hosts and fatal for millions. splitmix64 (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators") passes BigCrush and is
+// the usual seeding primitive for xoshiro-family generators; a per-node
+// statistical RNG for jitter and identifier draws needs nothing stronger.
+//
+// The draw sequence differs from the default source, so swapping it changes
+// simulation outcomes: default-scale worlds keep the legacy source (their
+// goldens pin its sequence) and only Compact worlds use this.
+type splitmixSource struct {
+	state uint64
+}
+
+func newSplitmixSource(seed int64) *splitmixSource {
+	return &splitmixSource{state: uint64(seed)}
+}
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+func (s *splitmixSource) Seed(seed int64) {
+	s.state = uint64(seed)
+}

@@ -48,6 +48,12 @@ type Config struct {
 	// Seed drives the node's private RNG (transaction IDs, keepalive
 	// target choice).
 	Seed int64
+	// CompactRNG swaps the node's private RNG source for an 8-byte
+	// splitmix64 state instead of math/rand's 4.9 KiB lagged-Fibonacci
+	// table. The draw sequence differs, so default worlds (whose goldens
+	// pin the legacy sequence) leave this off; paper-scale worlds turn it
+	// on, where it removes the single largest per-host allocation.
+	CompactRNG bool
 	// Byzantine makes the node adversarial: it answers find_node with
 	// fabricated neighbours drawn from its RNG instead of routing-table
 	// contents, poisoning crawlers' discovery frontiers with phantom
@@ -70,14 +76,22 @@ type Stats struct {
 
 // Node is a DHT participant bound to one socket.
 type Node struct {
-	id        krpc.NodeID
-	cfg       Config
-	sock      netsim.Socket
-	clock     Clock
-	rng       *rand.Rand
-	table     *routingTable
-	pending   map[string]*pendingQuery
-	store     *peerStore
+	id    krpc.NodeID
+	cfg   Config
+	sock  netsim.Socket
+	clock Clock
+	rng   *rand.Rand
+	table routingTable // by value: one less pointer and heap object per node
+	// pending maps transaction IDs to in-flight queries by value and is
+	// allocated lazily on the first outgoing query: a pendingQuery is two
+	// function words, and most simulated swarm nodes never issue a query
+	// at all (only NATed keepalive pings and restart rejoins do), so the
+	// common case carries no map.
+	pending map[string]pendingQuery
+	// store is embedded by value with a lazily allocated map: most
+	// simulated nodes never receive an announce, so they never pay for the
+	// byHash map header.
+	store     peerStore
 	tokenBase uint64 // node-private seed for write-token secrets
 	stats     Stats
 	closed    bool
@@ -100,6 +114,10 @@ func (timeoutError) Error() string { return "dht: query timed out" }
 // node is immediately able to answer queries; call Bootstrap to populate its
 // routing table.
 func NewNode(sock netsim.Socket, clock Clock, cfg Config) *Node {
+	return newNode(func() *Node { return new(Node) }, sock, clock, cfg)
+}
+
+func newNode(alloc func() *Node, sock netsim.Socket, clock Clock, cfg Config) *Node {
 	if cfg.QueryTimeout <= 0 {
 		cfg.QueryTimeout = 2 * time.Second
 	}
@@ -107,22 +125,62 @@ func NewNode(sock netsim.Socket, clock Clock, cfg Config) *Node {
 	if id == (krpc.NodeID{}) {
 		id = krpc.GenerateNodeID(cfg.PrivateIP, cfg.IDSeed)
 	}
-	n := &Node{
-		id:      id,
-		cfg:     cfg,
-		sock:    sock,
-		clock:   clock,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		table:   newRoutingTable(id, cfg.TableStaleAfter),
-		pending: make(map[string]*pendingQuery),
-		store:   newPeerStore(cfg.PeerTTL, cfg.PeersPerHash),
+	src := rand.NewSource(cfg.Seed)
+	if cfg.CompactRNG {
+		src = newSplitmixSource(cfg.Seed)
 	}
+	n := alloc()
+	*n = Node{
+		id:    id,
+		cfg:   cfg,
+		sock:  sock,
+		clock: clock,
+		rng:   rand.New(src),
+		store: newPeerStore(cfg.PeerTTL, cfg.PeersPerHash),
+	}
+	n.table.init(id, cfg.TableStaleAfter)
 	n.tokenBase = n.rng.Uint64()
 	sock.SetHandler(n.handle)
 	if cfg.KeepaliveInterval > 0 {
 		n.scheduleKeepalive()
 	}
 	return n
+}
+
+// NodeArena allocates Nodes in fixed-size chunks. Chunks are never
+// reallocated, so *Node pointers stay stable for the arena's lifetime; a
+// million-node swarm becomes ~a thousand slab allocations the garbage
+// collector tracks instead of a million individually-header'd objects. The
+// zero value is ready for use; arenas are not safe for concurrent use (the
+// world builder is single-threaded per swarm).
+type NodeArena struct {
+	chunks [][]Node
+	used   int // slots consumed in the last chunk
+}
+
+const arenaChunk = 1024
+
+// NewNode is NewNode allocating from the arena.
+func (a *NodeArena) NewNode(sock netsim.Socket, clock Clock, cfg Config) *Node {
+	return newNode(a.alloc, sock, clock, cfg)
+}
+
+func (a *NodeArena) alloc() *Node {
+	if len(a.chunks) == 0 || a.used == arenaChunk {
+		a.chunks = append(a.chunks, make([]Node, arenaChunk))
+		a.used = 0
+	}
+	n := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	return n
+}
+
+// Len returns how many nodes the arena has handed out.
+func (a *NodeArena) Len() int {
+	if len(a.chunks) == 0 {
+		return 0
+	}
+	return (len(a.chunks)-1)*arenaChunk + a.used
 }
 
 // tokenSecret derives the write-token secret for an epoch offset (0 =
@@ -169,7 +227,7 @@ func (n *Node) Close() {
 	for _, p := range n.pending {
 		p.stopTime()
 	}
-	n.pending = make(map[string]*pendingQuery)
+	n.pending = nil
 	n.sock.Close()
 }
 
@@ -276,7 +334,10 @@ func (n *Node) sendQuery(to netsim.Endpoint, msg *krpc.Message, done func(*krpc.
 			}
 		}
 	})
-	n.pending[tx] = &pendingQuery{done: done, stopTime: stop}
+	if n.pending == nil {
+		n.pending = make(map[string]pendingQuery)
+	}
+	n.pending[tx] = pendingQuery{done: done, stopTime: stop}
 	n.stats.QueriesSent++
 	n.sock.Send(to, data)
 }

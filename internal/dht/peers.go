@@ -11,7 +11,9 @@ import (
 
 // peerStore holds announced peers per info-hash with a TTL and caps, as real
 // DHT nodes do (BEP 5 suggests re-announcing at least every ~15 minutes; we
-// default to a 2-hour expiry).
+// default to a 2-hour expiry). It embeds by value and allocates byHash only
+// on the first announce: in a paper-scale swarm almost no node ever stores
+// a peer, so the common case costs zero heap objects.
 type peerStore struct {
 	byHash  map[krpc.NodeID][]storedPeer
 	ttl     time.Duration
@@ -23,18 +25,21 @@ type storedPeer struct {
 	at   time.Time
 }
 
-func newPeerStore(ttl time.Duration, perHash int) *peerStore {
+func newPeerStore(ttl time.Duration, perHash int) peerStore {
 	if ttl <= 0 {
 		ttl = 2 * time.Hour
 	}
 	if perHash <= 0 {
 		perHash = 64
 	}
-	return &peerStore{byHash: make(map[krpc.NodeID][]storedPeer), ttl: ttl, perHash: perHash}
+	return peerStore{ttl: ttl, perHash: perHash}
 }
 
 // add inserts or refreshes a peer for the info-hash.
 func (s *peerStore) add(infoHash krpc.NodeID, p krpc.Peer, now time.Time) {
+	if s.byHash == nil {
+		s.byHash = make(map[krpc.NodeID][]storedPeer)
+	}
 	list := s.prune(infoHash, now)
 	for i := range list {
 		if list[i].peer == p {

@@ -78,14 +78,19 @@ func MustParseAddr(s string) Addr {
 // String renders the address in dotted-quad notation.
 func (a Addr) String() string {
 	var b [15]byte
-	out := strconv.AppendUint(b[:0], uint64(a>>24), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(a>>16&0xff), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(a>>8&0xff), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(a&0xff), 10)
-	return string(out)
+	return string(a.AppendText(b[:0]))
+}
+
+// AppendText appends the dotted-quad form to b and returns the extended
+// slice — the allocation-free form used by streamed artifact writers.
+func (a Addr) AppendText(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(a>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>8&0xff), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(a&0xff), 10)
 }
 
 // Octets returns the four address bytes in network order.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/reuseblock/reuseblock/internal/ipset"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 )
 
@@ -41,14 +42,24 @@ type NATConfig struct {
 
 // NAT is a network address translator fronting any number of internal hosts
 // with a single public address.
+//
+// Mapping state is pooled: mappings live in one index-addressed slice with a
+// freelist, and byExt/byInt store int32 slot indices rather than pointers.
+// At paper scale the NAT population dominates the world (the paper's point
+// is that most of the DHT sits behind reused gateway addresses), so mapping
+// records are the second-largest per-host cost after node state. Contacted-
+// peer sets for AddressRestricted filtering are compact address sets instead
+// of maps for the same reason.
 type NAT struct {
-	net   *Network
-	cfg   NATConfig
-	next  uint16
-	byExt map[uint16]*mapping                  // external port -> mapping
-	byInt map[internalKey]*mapping             // internal endpoint -> mapping
-	socks map[internalKey]*natSocket           // bound internal sockets
-	peers map[internalKey]map[iputil.Addr]bool // contacted external addrs (for filtering)
+	net    *Network
+	cfg    NATConfig
+	next   uint16
+	byExt  map[uint16]int32           // external port -> index into mslots
+	byInt  map[internalKey]int32      // internal endpoint -> index into mslots
+	mslots []mapping                  // pooled mapping records
+	mfree  []int32                    // freelist of vacated slots
+	socks  map[internalKey]*natSocket // bound internal sockets
+	peers  map[internalKey]*ipset.Set // contacted external addrs (for filtering)
 }
 
 type internalKey struct {
@@ -83,10 +94,10 @@ func NewNAT(n *Network, cfg NATConfig) (*NAT, error) {
 		net:   n,
 		cfg:   cfg,
 		next:  cfg.FirstPort,
-		byExt: make(map[uint16]*mapping),
-		byInt: make(map[internalKey]*mapping),
+		byExt: make(map[uint16]int32),
+		byInt: make(map[internalKey]int32),
 		socks: make(map[internalKey]*natSocket),
-		peers: make(map[internalKey]map[iputil.Addr]bool),
+		peers: make(map[internalKey]*ipset.Set),
 	}
 	n.nats[cfg.PublicAddr] = nat
 	return nat, nil
@@ -110,8 +121,8 @@ func (nat *NAT) Listen(privateAddr iputil.Addr, privatePort uint16) (Socket, err
 func (nat *NAT) ActiveMappings() int {
 	now := nat.net.clock.Now()
 	n := 0
-	for _, m := range nat.byExt {
-		if !nat.expired(m, now) {
+	for _, mi := range nat.byExt {
+		if !nat.expired(&nat.mslots[mi], now) {
 			n++
 		}
 	}
@@ -123,34 +134,35 @@ func (nat *NAT) expired(m *mapping, now time.Time) bool {
 }
 
 func (nat *NAT) hasMapping(extPort uint16) bool {
-	m, ok := nat.byExt[extPort]
-	return ok && !nat.expired(m, nat.net.clock.Now())
+	mi, ok := nat.byExt[extPort]
+	return ok && !nat.expired(&nat.mslots[mi], nat.net.clock.Now())
 }
 
 // outbound handles a datagram from an internal socket: allocate or refresh
 // the mapping and transmit from the public endpoint.
 func (nat *NAT) outbound(key internalKey, to Endpoint, payload []byte) {
 	now := nat.net.clock.Now()
-	m, ok := nat.byInt[key]
-	if ok && nat.expired(m, now) {
-		nat.dropMapping(m)
+	mi, ok := nat.byInt[key]
+	if ok && nat.expired(&nat.mslots[mi], now) {
+		nat.dropMapping(mi)
 		ok = false
 	}
 	if !ok {
-		m = nat.allocate(key, now)
-		if m == nil {
+		mi, ok = nat.allocate(key, now)
+		if !ok {
 			nat.net.stats.NoRoute++ // port space exhausted
 			return
 		}
 	}
+	m := &nat.mslots[mi]
 	m.lastUsed = now
 	if nat.cfg.Filtering == AddressRestricted {
 		set := nat.peers[key]
 		if set == nil {
-			set = make(map[iputil.Addr]bool)
+			set = ipset.New()
 			nat.peers[key] = set
 		}
-		set[to.Addr] = true
+		set.Add(uint32(to.Addr))
 	}
 	nat.net.transmit(Endpoint{nat.cfg.PublicAddr, m.extPort}, to, payload)
 }
@@ -158,19 +170,23 @@ func (nat *NAT) outbound(key internalKey, to Endpoint, payload []byte) {
 // inbound handles a datagram arriving at the public address.
 func (nat *NAT) inbound(from, to Endpoint, payload []byte) {
 	now := nat.net.clock.Now()
-	m, ok := nat.byExt[to.Port]
-	if !ok || nat.expired(m, now) {
+	mi, ok := nat.byExt[to.Port]
+	if !ok || nat.expired(&nat.mslots[mi], now) {
 		if ok {
-			nat.dropMapping(m)
+			nat.dropMapping(mi)
 		}
 		nat.net.stats.NoRoute++
 		nat.net.trace(TraceNoRoute, from, to, len(payload))
 		return
 	}
-	if nat.cfg.Filtering == AddressRestricted && !nat.peers[m.intKey][from.Addr] {
-		nat.net.stats.NoRoute++
-		nat.net.trace(TraceNoRoute, from, to, len(payload))
-		return
+	m := &nat.mslots[mi]
+	if nat.cfg.Filtering == AddressRestricted {
+		set := nat.peers[m.intKey]
+		if set == nil || !set.Contains(uint32(from.Addr)) {
+			nat.net.stats.NoRoute++
+			nat.net.trace(TraceNoRoute, from, to, len(payload))
+			return
+		}
 	}
 	s, ok := nat.socks[m.intKey]
 	if !ok || s.handler == nil {
@@ -186,7 +202,7 @@ func (nat *NAT) inbound(from, to Endpoint, payload []byte) {
 	s.handler(from, payload)
 }
 
-func (nat *NAT) allocate(key internalKey, now time.Time) *mapping {
+func (nat *NAT) allocate(key internalKey, now time.Time) (int32, bool) {
 	for tries := 0; tries < 65536; tries++ {
 		port := nat.next
 		nat.next++
@@ -197,24 +213,34 @@ func (nat *NAT) allocate(key internalKey, now time.Time) *mapping {
 			continue
 		}
 		if old, used := nat.byExt[port]; used {
-			if !nat.expired(old, now) {
+			if !nat.expired(&nat.mslots[old], now) {
 				continue
 			}
 			nat.dropMapping(old)
 		}
-		m := &mapping{intKey: key, extPort: port, lastUsed: now}
-		nat.byExt[port] = m
-		nat.byInt[key] = m
-		return m
+		var mi int32
+		if k := len(nat.mfree); k > 0 {
+			mi = nat.mfree[k-1]
+			nat.mfree = nat.mfree[:k-1]
+		} else {
+			nat.mslots = append(nat.mslots, mapping{})
+			mi = int32(len(nat.mslots) - 1)
+		}
+		nat.mslots[mi] = mapping{intKey: key, extPort: port, lastUsed: now}
+		nat.byExt[port] = mi
+		nat.byInt[key] = mi
+		return mi, true
 	}
-	return nil
+	return 0, false
 }
 
-func (nat *NAT) dropMapping(m *mapping) {
+func (nat *NAT) dropMapping(mi int32) {
+	m := &nat.mslots[mi]
 	delete(nat.byExt, m.extPort)
-	if cur, ok := nat.byInt[m.intKey]; ok && cur == m {
+	if cur, ok := nat.byInt[m.intKey]; ok && cur == mi {
 		delete(nat.byInt, m.intKey)
 	}
+	nat.mfree = append(nat.mfree, mi)
 }
 
 type natSocket struct {
@@ -234,11 +260,11 @@ func (s *natSocket) Send(to Endpoint, payload []byte) {
 func (s *natSocket) SetHandler(h Handler) { s.handler = h }
 
 func (s *natSocket) PublicEndpoint() (Endpoint, bool) {
-	m, ok := s.nat.byInt[s.key]
-	if !ok || s.nat.expired(m, s.nat.net.clock.Now()) {
+	mi, ok := s.nat.byInt[s.key]
+	if !ok || s.nat.expired(&s.nat.mslots[mi], s.nat.net.clock.Now()) {
 		return Endpoint{}, false
 	}
-	return Endpoint{s.nat.cfg.PublicAddr, m.extPort}, true
+	return Endpoint{s.nat.cfg.PublicAddr, s.nat.mslots[mi].extPort}, true
 }
 
 func (s *natSocket) Close() {
@@ -247,8 +273,8 @@ func (s *natSocket) Close() {
 	}
 	s.closed = true
 	delete(s.nat.socks, s.key)
-	if m, ok := s.nat.byInt[s.key]; ok {
-		s.nat.dropMapping(m)
+	if mi, ok := s.nat.byInt[s.key]; ok {
+		s.nat.dropMapping(mi)
 	}
 	delete(s.nat.peers, s.key)
 }

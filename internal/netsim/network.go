@@ -121,20 +121,43 @@ func (cfg *Config) validate() error {
 // Network simulates the public IPv4 fabric: bindings, loss, latency, NATs.
 // All methods must be called from the event loop goroutine (the simulator is
 // single-threaded by design — that is what makes runs reproducible).
+//
+// Binding state is pooled: slot data lives in one index-addressed slice with
+// a freelist, the endpoint map stores int32 slot indices, and the Socket a
+// caller holds is a small generation-checked handle. A paper-scale world
+// binds one socket per public host; keeping those as individual heap objects
+// pointed at by a map is exactly the per-host overhead the compact core
+// removes.
 type Network struct {
 	clock    *Clock
 	rng      *rand.Rand
 	cfg      Config
-	bindings map[Endpoint]*binding
+	bindings map[Endpoint]int32 // endpoint -> index into bslots
+	bslots   []bslot
+	bfree    []int32 // freelist of vacated slot indices
 	nats     map[iputil.Addr]*NAT
 	stats    Stats
+	// forward, when set by a ShardGroup, sees each datagram after the
+	// loss/jitter rolls and payload copy; returning true means the
+	// destination lives on another shard and delivery was handed off.
+	forward func(deliverAt time.Time, from, to Endpoint, payload []byte) bool
 }
 
-type binding struct {
+// bslot is pooled per-binding state. gen increments on close so a stale
+// handle whose slot was recycled cannot reach the new occupant.
+type bslot struct {
 	ep      Endpoint
 	handler Handler
-	net     *Network
-	closed  bool
+	gen     uint32
+	used    bool
+}
+
+// bhandle is the Socket returned by Listen: an index into the pool plus the
+// generation it was created under.
+type bhandle struct {
+	net *Network
+	idx int32
+	gen uint32
 }
 
 // NewNetwork builds an empty network on the given clock. It returns an
@@ -148,7 +171,7 @@ func NewNetwork(clock *Clock, cfg Config) (*Network, error) {
 		clock:    clock,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		cfg:      cfg,
-		bindings: make(map[Endpoint]*binding),
+		bindings: make(map[Endpoint]int32),
 		nats:     make(map[iputil.Addr]*NAT),
 	}, nil
 }
@@ -170,9 +193,18 @@ func (n *Network) Listen(ep Endpoint) (Socket, error) {
 	if _, natted := n.nats[ep.Addr]; natted {
 		return nil, fmt.Errorf("netsim: %s is a NAT public address", ep.Addr)
 	}
-	b := &binding{ep: ep, net: n}
-	n.bindings[ep] = b
-	return b, nil
+	var idx int32
+	if k := len(n.bfree); k > 0 {
+		idx = n.bfree[k-1]
+		n.bfree = n.bfree[:k-1]
+	} else {
+		n.bslots = append(n.bslots, bslot{})
+		idx = int32(len(n.bslots) - 1)
+	}
+	s := &n.bslots[idx]
+	s.ep, s.handler, s.used = ep, nil, true
+	n.bindings[ep] = idx
+	return &bhandle{net: n, idx: idx, gen: s.gen}, nil
 }
 
 // Bound reports whether the endpoint is currently bound (directly or as an
@@ -187,19 +219,44 @@ func (n *Network) Bound(ep Endpoint) bool {
 	return false
 }
 
-func (b *binding) Send(to Endpoint, payload []byte) {
-	b.net.transmit(b.ep, to, payload)
+// slot resolves a handle to its pooled state; nil when the binding was
+// closed (possibly recycled for another endpoint since).
+func (h *bhandle) slot() *bslot {
+	s := &h.net.bslots[h.idx]
+	if !s.used || s.gen != h.gen {
+		return nil
+	}
+	return s
 }
 
-func (b *binding) SetHandler(h Handler) { b.handler = h }
-
-func (b *binding) PublicEndpoint() (Endpoint, bool) { return b.ep, true }
-
-func (b *binding) Close() {
-	if !b.closed {
-		b.closed = true
-		delete(b.net.bindings, b.ep)
+func (h *bhandle) Send(to Endpoint, payload []byte) {
+	if s := h.slot(); s != nil {
+		h.net.transmit(s.ep, to, payload)
 	}
+}
+
+func (h *bhandle) SetHandler(hdl Handler) {
+	if s := h.slot(); s != nil {
+		s.handler = hdl
+	}
+}
+
+func (h *bhandle) PublicEndpoint() (Endpoint, bool) {
+	if s := h.slot(); s != nil {
+		return s.ep, true
+	}
+	return Endpoint{}, false
+}
+
+func (h *bhandle) Close() {
+	s := h.slot()
+	if s == nil {
+		return
+	}
+	delete(h.net.bindings, s.ep)
+	s.used, s.handler = false, nil
+	s.gen++
+	h.net.bfree = append(h.net.bfree, h.idx)
 }
 
 func (n *Network) trace(kind TraceKind, from, to Endpoint, size int) {
@@ -234,6 +291,9 @@ func (n *Network) transmit(from, to Endpoint, payload []byte) {
 	// in-flight datagrams.
 	data := make([]byte, len(payload))
 	copy(data, payload)
+	if n.forward != nil && n.forward(n.clock.Now().Add(delay), from, to, data) {
+		return
+	}
 	n.clock.After(delay, func() {
 		n.deliver(from, to, data)
 	})
@@ -252,13 +312,13 @@ func (n *Network) deliver(from, to Endpoint, payload []byte) {
 		nat.inbound(from, to, payload)
 		return
 	}
-	b, ok := n.bindings[to]
-	if !ok || b.handler == nil {
+	idx, ok := n.bindings[to]
+	if !ok || n.bslots[idx].handler == nil {
 		n.stats.NoRoute++
 		n.trace(TraceNoRoute, from, to, len(payload))
 		return
 	}
 	n.stats.Delivered++
 	n.trace(TraceDeliver, from, to, len(payload))
-	b.handler(from, payload)
+	n.bslots[idx].handler(from, payload)
 }

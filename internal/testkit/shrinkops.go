@@ -1,0 +1,38 @@
+package testkit
+
+// ShrinkOps greedily minimizes a failing operation sequence: it first tries
+// deleting progressively smaller chunks (halving from len/2 down to 1), and
+// keeps any deletion after which the property still fails, until no deletion
+// survives or the budget of fails() calls runs out. It returns the shortest
+// still-failing sequence found. fails must be a pure function of the
+// sequence — the same contract Shrink imposes on WorldSpec properties.
+//
+// It complements Shrink (which walks WorldSpec fields toward tame defaults):
+// state-machine property tests over arbitrary op sequences — like the ipset
+// model checker — shrink counterexamples with this instead.
+func ShrinkOps[T any](ops []T, fails func([]T) bool, budget int) []T {
+	best := append([]T(nil), ops...)
+	for chunk := len(best) / 2; chunk >= 1; {
+		improved := false
+		for start := 0; start+chunk <= len(best) && budget > 0; {
+			cand := make([]T, 0, len(best)-chunk)
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[start+chunk:]...)
+			budget--
+			if fails(cand) {
+				best = cand
+				improved = true
+				// Same start now names the next chunk; retry in place.
+				continue
+			}
+			start += chunk
+		}
+		if budget <= 0 {
+			break
+		}
+		if !improved || chunk > len(best)/2 {
+			chunk /= 2
+		}
+	}
+	return best
+}

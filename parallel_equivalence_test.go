@@ -6,6 +6,8 @@
 package reuseblock_test
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"testing"
 	"time"
@@ -57,6 +59,54 @@ func TestParallelEquivalentToSequential(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// preRefactorReportHashes pins SHA-256 digests of rendered reports captured
+// on the pre-compact-state tree (commit e9c9148, before internal/ipset, the
+// pooled dht/netsim state, and the sharded event loop landed). The compact
+// representations must be invisible in every artifact byte: map-backed
+// address sets became interval+bitmap sets, fixed routing arrays became
+// sparse ones, node and NAT state moved into pools — all behind unchanged
+// iteration orders and RNG sequences. Seed 3's 0.05-scale world has no
+// publicly reachable swarm, so only its 0.15 scale is pinned.
+var preRefactorReportHashes = map[string]string{
+	"seed=1/scale=0.05": "1d93eedc3224aea2573fd5f9a5c6a2b5f0559d7b17d87ee1518af4769ee1f309",
+	"seed=1/scale=0.15": "e3929cefc4663c22d2fb38c10c25bd47298a8be2c20a187abdc0a850dcf6d514",
+	"seed=2/scale=0.05": "cdb01308011a748cee3e182dce7808c97108fbc6a33164f25ef1fbeb1a908785",
+	"seed=2/scale=0.15": "a5d779a81c81f32b2ac0885ca7a66d64c0054bd8fb2bae3f7a26aad8a6fd25aa",
+	"seed=3/scale=0.15": "91678016486d0b1c57e32ad9b4e4d0c7205af170fea44622c2a720e4234b7041",
+	"seed=4/scale=0.05": "693c7c38aafe957b6b39475eca5c3dbf4bcf03c25658793526350cd20cdba923",
+	"seed=4/scale=0.15": "aaaad9f71e4208498eb0591b443ec3268ed42554d01fd717b27d275cffcec397",
+}
+
+// TestCompactStateEquivalence re-renders each pinned configuration on the
+// compact-state tree and compares digests: one flipped byte anywhere in any
+// table or figure fails the run. In -short mode only the first key runs.
+func TestCompactStateEquivalence(t *testing.T) {
+	keys := []string{
+		"seed=1/scale=0.05", "seed=1/scale=0.15",
+		"seed=2/scale=0.05", "seed=2/scale=0.15",
+		"seed=3/scale=0.15",
+		"seed=4/scale=0.05", "seed=4/scale=0.15",
+	}
+	if testing.Short() {
+		keys = keys[:1]
+	}
+	for _, key := range keys {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			var seed int64
+			var scale float64
+			if _, err := fmt.Sscanf(key, "seed=%d/scale=%g", &seed, &scale); err != nil {
+				t.Fatalf("bad key %q: %v", key, err)
+			}
+			sum := sha256.Sum256([]byte(renderStudy(t, seed, scale, 1)))
+			if got := hex.EncodeToString(sum[:]); got != preRefactorReportHashes[key] {
+				t.Errorf("report digest %s, want pre-refactor %s — compact state leaked into artifact bytes",
+					got, preRefactorReportHashes[key])
+			}
+		})
 	}
 }
 
