@@ -6,19 +6,30 @@
 // Usage:
 //
 //	blserve -nated FILE -dynamic FILE [-addr :8080] [-watch] [-dataset-faults NAME]
+//	blserve -dataset NAME=NATED,DYN [-dataset NAME2=NATED2,DYN2 ...] [-watch]
 //	blserve -generate [-seed N] [-scale F] [-addr :8080] [-pprof]
 //
 // Endpoints: /v1/check?ip=A.B.C.D (GET) and batch POST /v1/check, /v1/list,
-// /v1/prefixes, /v1/stats, plus observability: /metrics (Prometheus text;
-// with -generate it carries the study's deterministic counters alongside
-// live request counts and per-endpoint latency histograms), /debug/manifest
-// (the run manifest JSON, including live serving/reload status), and —
-// behind -pprof — /debug/pprof/.
+// /v1/prefixes, /v1/stats, /v1/greylist?ip=A.B.C.D (the Section 6
+// mitigation: recommended action + greylisting window per address), plus
+// observability: /metrics (Prometheus text; with -generate it carries the
+// study's deterministic counters alongside live request counts and
+// per-endpoint latency histograms), /debug/manifest (the run manifest JSON,
+// including live serving/reload status), and — behind -pprof — /debug/pprof/.
+//
+// -dataset (repeatable) serves several named datasets behind one listener:
+// every endpoint is also available at /v1/NAME/..., the first -dataset is
+// the default the unprefixed routes alias, and each dataset reloads (and,
+// with -shed, sheds) independently. Either file in a spec may be empty
+// ("pools=nated.txt," serves a NATed list with no dynamic prefixes).
 //
 // The server is hardened for real traffic: read/write/idle timeouts bound
 // slow clients, -watch polls the input files and atomically swaps in a
 // freshly compiled dataset when they change, and SIGINT/SIGTERM drain
-// in-flight requests for up to -shutdown-grace before exiting.
+// in-flight requests for up to -shutdown-grace before exiting. Reloads are
+// incremental: the watcher diffs the re-parsed files against what is being
+// served and applies the delta (reuseapi.ApplyDelta) when it is small,
+// paying a full recompile only for wholesale replacements.
 //
 // -shed turns on overload resilience (internal/shed): per-class admission
 // gates with CoDel-style load shedding, optional per-client rate limiting
@@ -29,7 +40,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -63,6 +77,8 @@ type serveOptions struct {
 	seed         int64
 	scale        float64
 
+	datasets []datasetSpec
+
 	watch         bool
 	watchInterval time.Duration
 
@@ -70,6 +86,28 @@ type serveOptions struct {
 	writeTimeout  time.Duration
 	idleTimeout   time.Duration
 	shutdownGrace time.Duration
+}
+
+// datasetSpec is one -dataset flag: a named pair of input files.
+type datasetSpec struct {
+	name         string
+	natedF, dynF string
+}
+
+// parseDatasetSpec parses "NAME=NATEDFILE,DYNFILE"; either file (not both)
+// may be empty. Name validity is enforced by Registry.Register.
+func parseDatasetSpec(v string) (datasetSpec, error) {
+	name, files, ok := strings.Cut(v, "=")
+	if !ok {
+		return datasetSpec{}, fmt.Errorf("-dataset %q: want NAME=NATEDFILE,DYNFILE", v)
+	}
+	nated, dyn, _ := strings.Cut(files, ",")
+	spec := datasetSpec{name: strings.TrimSpace(name),
+		natedF: strings.TrimSpace(nated), dynF: strings.TrimSpace(dyn)}
+	if spec.natedF == "" && spec.dynF == "" {
+		return datasetSpec{}, fmt.Errorf("-dataset %q: at least one input file required", v)
+	}
+	return spec, nil
 }
 
 // run is main with signal handling attached: SIGINT/SIGTERM trigger the
@@ -98,6 +136,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		watch         = fs.Bool("watch", false, "poll the -nated/-dynamic files and hot-reload the dataset on change")
 		watchInterval = fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 		datasetFaults = fs.String("dataset-faults", "", "fault scenario the served dataset was crawled under (provenance label surfaced in /debug/manifest)")
+	)
+	var datasets []datasetSpec
+	fs.Func("dataset", "serve a named dataset NAME=NATEDFILE,DYNFILE (repeatable; the first is the default the unprefixed /v1/* routes alias; either file may be empty)", func(v string) error {
+		spec, err := parseDatasetSpec(v)
+		if err != nil {
+			return err
+		}
+		datasets = append(datasets, spec)
+		return nil
+	})
+	var (
 
 		shedOn         = fs.Bool("shed", false, "enable overload resilience: admission control, load shedding, degraded mode, /healthz + /readyz")
 		shedCheap      = fs.Int("shed-cheap-concurrency", 256, "concurrent requests admitted on the cheap class (single checks, stats)")
@@ -130,53 +179,123 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	opts := serveOptions{
 		natedF: *natedF, dynF: *dynF, generate: *generate, seed: *seed, scale: *scale,
-		watch: *watch, watchInterval: *watchInterval,
+		datasets: datasets,
+		watch:    *watch, watchInterval: *watchInterval,
 		readTimeout: *readTimeout, writeTimeout: *writeTimeout,
 		idleTimeout: *idleTimeout, shutdownGrace: *shutdownGrace,
 	}
-	if opts.watch && (opts.generate || (opts.natedF == "" && opts.dynF == "")) {
+	if len(datasets) > 0 && (opts.generate || opts.natedF != "" || opts.dynF != "") {
+		fmt.Fprintln(stderr, "blserve: -dataset cannot be combined with -generate or -nated/-dynamic")
+		return 1
+	}
+	if opts.watch && len(datasets) == 0 && (opts.generate || (opts.natedF == "" && opts.dynF == "")) {
 		fmt.Fprintln(stderr, "blserve: -watch needs -nated/-dynamic files to poll")
 		return 1
 	}
-	data, reg, manifest, err := buildDataset(opts)
-	if err != nil {
-		fmt.Fprintln(stderr, "blserve:", err)
-		return 1
-	}
-	if *datasetFaults != "" {
-		// Crawl provenance travels with the dataset: a list collected under
-		// a fault scenario says so in its manifest, even though the files
-		// themselves carry no such metadata.
-		manifest.FaultScenario = *datasetFaults
-	}
 
-	srv := reuseapi.NewServer(data)
-	srv.Obs = reg
-	srv.EnablePprof = *pprofOn
-	var ctrl *shed.Controller
-	if *shedOn {
-		ctrl = shed.New(shed.Config{
+	// shedConfig builds one admission controller per dataset (every dataset
+	// gets its own gates, quotas and mode machine; a flood against one feed
+	// must not degrade the others); nil when -shed is off.
+	shedConfig := func(dataset string, reg *obs.Registry) *shed.Controller {
+		if !*shedOn {
+			return nil
+		}
+		return shed.New(shed.Config{
 			CheapConcurrency: *shedCheap, HeavyConcurrency: *shedHeavy, QueueLimit: *shedQueue,
 			Target: *shedTarget, Interval: *shedInterval, MaxWait: *shedMaxWait,
 			RatePerClient: *shedRate, Burst: *shedBurst,
 			ClientPrefixBits: *shedPrefixBits, TrustForwarded: *shedForwarded, MaxClients: *shedClients,
 			DegradeAfter: *shedDegrade, RecoverAfter: *shedRecover, RetryAfter: *shedRetryAfter,
 			DegradedMaxBatchIPs: *shedBatch,
+			Dataset:             dataset,
 		}, reg)
-		srv.Shed = ctrl
 	}
 
-	rel := newReloader(opts, srv, reg, ctrl, data.Generated)
-	// Serve the manifest with a live metric snapshot and the reload status
-	// so request counters and dataset swaps since startup are visible too.
-	srv.Manifest = func() *obs.Manifest {
-		m := *manifest
-		m.Metrics = reg.Snapshot(true)
-		m.Serving = rel.status()
-		if ctrl != nil {
-			m.Serving.Overload = ctrl.Status()
+	var (
+		handler http.Handler
+		rels    []*reloader
+	)
+	if len(datasets) > 0 {
+		reg := obs.NewRegistry()
+		manifest := obs.NewManifest()
+		if *datasetFaults != "" {
+			manifest.FaultScenario = *datasetFaults
 		}
-		return &m
+		registry := reuseapi.NewRegistry()
+		registry.Obs = reg
+		registry.EnablePprof = *pprofOn
+		for i, spec := range datasets {
+			data, stamps, err := loadDataset(spec.natedF, spec.dynF)
+			if err != nil {
+				fmt.Fprintf(stderr, "blserve: dataset %s: %v\n", spec.name, err)
+				return 1
+			}
+			srv := reuseapi.NewServer(data)
+			srv.Obs = reg
+			srv.Shed = shedConfig(spec.name, reg)
+			if err := registry.Register(spec.name, srv); err != nil {
+				fmt.Fprintln(stderr, "blserve:", err)
+				return 1
+			}
+			rels = append(rels, newReloader(spec.name, i == 0, spec.natedF, spec.dynF,
+				opts.watch, opts.watchInterval, srv, reg, srv.Shed, data, stamps))
+			fmt.Fprintf(stdout, "dataset %s: %d NATed addresses, %d dynamic prefixes%s\n",
+				spec.name, len(data.NATUsers), data.DynamicPrefixes.Len(),
+				map[bool]string{true: " (default)"}[i == 0])
+		}
+		allRels := rels
+		registry.Manifest = func() *obs.Manifest {
+			m := *manifest
+			m.Metrics = reg.Snapshot(true)
+			// Top-level serving block describes the default dataset (so
+			// single-dataset manifest consumers keep working); the Datasets
+			// slice carries every dataset's own lifecycle block.
+			m.Serving = allRels[0].status()
+			if c := allRels[0].shed; c != nil {
+				m.Serving.Overload = c.Status()
+			}
+			for _, rel := range allRels {
+				m.Serving.Datasets = append(m.Serving.Datasets, rel.datasetStatus())
+			}
+			return &m
+		}
+		handler = registry.Handler()
+	} else {
+		data, stamps, reg, manifest, err := buildDataset(opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "blserve:", err)
+			return 1
+		}
+		if *datasetFaults != "" {
+			// Crawl provenance travels with the dataset: a list collected under
+			// a fault scenario says so in its manifest, even though the files
+			// themselves carry no such metadata.
+			manifest.FaultScenario = *datasetFaults
+		}
+
+		srv := reuseapi.NewServer(data)
+		srv.Obs = reg
+		srv.EnablePprof = *pprofOn
+		ctrl := shedConfig("", reg)
+		srv.Shed = ctrl
+
+		rel := newReloader("", true, opts.natedF, opts.dynF,
+			opts.watch, opts.watchInterval, srv, reg, ctrl, data, stamps)
+		rels = append(rels, rel)
+		// Serve the manifest with a live metric snapshot and the reload status
+		// so request counters and dataset swaps since startup are visible too.
+		srv.Manifest = func() *obs.Manifest {
+			m := *manifest
+			m.Metrics = reg.Snapshot(true)
+			m.Serving = rel.status()
+			if ctrl != nil {
+				m.Serving.Overload = ctrl.Status()
+			}
+			return &m
+		}
+		fmt.Fprintf(stdout, "serving %d NATed addresses and %d dynamic prefixes\n",
+			len(data.NATUsers), data.DynamicPrefixes.Len())
+		handler = srv.Handler()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -184,17 +303,18 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "blserve:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "serving %d NATed addresses and %d dynamic prefixes on http://%s\n",
-		len(data.NATUsers), data.DynamicPrefixes.Len(), ln.Addr())
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(stdout, "try: curl 'http://%s/v1/stats' or 'http://%s/metrics'\n", ln.Addr(), ln.Addr())
 
 	watchCtx, stopWatch := context.WithCancel(ctx)
 	defer stopWatch()
 	if opts.watch {
-		go rel.watch(watchCtx)
+		for _, rel := range rels {
+			go rel.watch(watchCtx)
+		}
 	}
 
-	httpSrv := newHTTPServer(srv.Handler(), opts)
+	httpSrv := newHTTPServer(handler, opts)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
@@ -229,60 +349,80 @@ func newHTTPServer(h http.Handler, opts serveOptions) *http.Server {
 	}
 }
 
-// reloader polls the input files and swaps a freshly compiled dataset into
-// the server when they change — the hot-reload path behind -watch.
+// reloader polls one dataset's input files and swaps a freshly compiled
+// snapshot into its server when they change — the hot-reload path behind
+// -watch. Reloads are incremental when the change is small: the re-parsed
+// files are diffed against what is being served and the delta applied via
+// reuseapi.ApplyDelta, so a few churned addresses don't pay a full
+// recompile-and-recompress of a 100k-line list.
 type reloader struct {
-	opts    serveOptions
-	srv     *reuseapi.Server
-	reloads *obs.Counter
+	name      string
+	isDefault bool
+	natedF    string
+	dynF      string
+	interval  time.Duration
+	watching  bool
+
+	srv          *reuseapi.Server
+	reloads      *obs.Counter
+	deltaReloads *obs.Counter
 	// shed, when non-nil, is degraded immediately on a failed reload (the
 	// served snapshot is stale) and allowed to recover once a reload lands.
 	shed *shed.Controller
 
-	mu     sync.Mutex
-	st     obs.ServingStatus
-	mtimes map[string]fileStamp
+	mu       sync.Mutex
+	st       obs.DatasetServingStatus
+	stamps   map[string]fileStamp
+	lastData *reuseapi.Dataset
 }
 
-// fileStamp is the change signature of one watched file.
+// fileStamp is the change signature of one watched file. The content hash
+// catches rewrites that preserve size and mtime (coarse filesystem
+// timestamps, tools that restore mtime), which stat alone misses.
 type fileStamp struct {
 	mtime time.Time
 	size  int64
+	sum   [sha256.Size]byte
 }
 
-func newReloader(opts serveOptions, srv *reuseapi.Server, reg *obs.Registry, ctrl *shed.Controller, generated time.Time) *reloader {
-	r := &reloader{
-		opts:    opts,
-		srv:     srv,
-		reloads: reg.Counter(obs.WallPrefix + "dataset_reloads_total"),
-		shed:    ctrl,
-		mtimes:  map[string]fileStamp{},
-	}
-	r.st.Watching = opts.watch
-	r.st.DatasetGenerated = generated
-	// Record the startup stamps so the first poll doesn't spuriously reload.
-	for _, f := range r.watchedFiles() {
-		if fi, err := os.Stat(f); err == nil {
-			r.mtimes[f] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+func newReloader(name string, isDefault bool, natedF, dynF string,
+	watching bool, interval time.Duration,
+	srv *reuseapi.Server, reg *obs.Registry, ctrl *shed.Controller,
+	data *reuseapi.Dataset, stamps map[string]fileStamp) *reloader {
+	counterName := func(base string) string {
+		if name != "" {
+			return obs.Name(base, "dataset", name)
 		}
+		return base
+	}
+	r := &reloader{
+		name:      name,
+		isDefault: isDefault,
+		natedF:    natedF, dynF: dynF,
+		interval: interval,
+		watching: watching,
+		srv:      srv,
+		reloads:  reg.Counter(counterName(obs.WallPrefix + "dataset_reloads_total")),
+		deltaReloads: reg.Counter(counterName(
+			obs.WallPrefix + "dataset_delta_reloads_total")),
+		shed:     ctrl,
+		stamps:   stamps,
+		lastData: data,
+	}
+	if r.stamps == nil {
+		r.stamps = map[string]fileStamp{}
+	}
+	r.st.Name = name
+	r.st.Default = isDefault
+	if data != nil {
+		r.st.Generated = data.Generated
 	}
 	return r
 }
 
-func (r *reloader) watchedFiles() []string {
-	var out []string
-	if r.opts.natedF != "" {
-		out = append(out, r.opts.natedF)
-	}
-	if r.opts.dynF != "" {
-		out = append(out, r.opts.dynF)
-	}
-	return out
-}
-
 // watch polls until ctx is cancelled.
 func (r *reloader) watch(ctx context.Context) {
-	ticker := time.NewTicker(r.opts.watchInterval)
+	ticker := time.NewTicker(r.interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -294,47 +434,69 @@ func (r *reloader) watch(ctx context.Context) {
 	}
 }
 
-// checkOnce stats the watched files and reloads when any changed. A failed
-// reload (file mid-rewrite, malformed content) keeps the old dataset serving
-// and surfaces the error in the manifest; the next tick retries.
+// checkOnce re-reads the watched files and reloads when their content
+// changed. Reads are guarded against concurrent rewrites: every file is
+// stat'ed, read, then stat'ed again, and if any stamp moved between the two
+// stats the whole attempt is abandoned silently — the writer is mid-rewrite
+// and the next tick will see the settled result. A failed parse keeps the
+// old dataset serving and surfaces the error in the manifest.
 func (r *reloader) checkOnce() {
-	changed := false
-	stamps := map[string]fileStamp{}
-	for _, f := range r.watchedFiles() {
-		fi, err := os.Stat(f)
-		if err != nil {
-			r.setError(fmt.Errorf("stat %s: %w", f, err))
-			return
-		}
-		stamp := fileStamp{mtime: fi.ModTime(), size: fi.Size()}
-		stamps[f] = stamp
-		r.mu.Lock()
-		if r.mtimes[f] != stamp {
-			changed = true
-		}
-		r.mu.Unlock()
-	}
-	if !changed {
+	data, stamps, err := loadDataset(r.natedF, r.dynF)
+	if errors.Is(err, errInputsMoved) {
 		return
 	}
-	data, err := loadFiles(r.opts)
 	if err != nil {
 		r.setError(err)
 		return
 	}
-	r.srv.Update(data)
+	r.mu.Lock()
+	changed := len(stamps) != len(r.stamps)
+	for f, s := range stamps {
+		if r.stamps[f] != s {
+			changed = true
+		}
+	}
+	last := r.lastData
+	r.mu.Unlock()
+	if !changed {
+		return
+	}
+
+	// Diff against what is serving and pick the cheapest sound path: a
+	// byte-identical rewrite keeps the compiled snapshot (and its ETags), a
+	// small churn goes through the incremental delta compile, and wholesale
+	// replacement pays the full recompile.
+	delta := reuseapi.DiffDatasets(last, data)
+	var appliedDelta bool
+	switch {
+	case delta.Empty():
+		// Same content, new stamps: nothing to recompile, but it still
+		// counts as a (trivially fast) reload so watchers of the reload
+		// counter see the swap attempt land.
+		data = last
+	case 4*delta.Ops() <= len(last.NATUsers)+last.DynamicPrefixes.Len():
+		r.srv.ApplyDelta(delta)
+		appliedDelta = true
+	default:
+		r.srv.Update(data)
+	}
 	r.reloads.Inc()
+	if appliedDelta {
+		r.deltaReloads.Inc()
+	}
 	if r.shed != nil {
 		r.shed.SetReloadFailed(false)
 	}
 	r.mu.Lock()
-	for f, s := range stamps {
-		r.mtimes[f] = s
-	}
+	r.stamps = stamps
+	r.lastData = data
 	r.st.Reloads++
+	if appliedDelta {
+		r.st.DeltaReloads++
+	}
 	r.st.LastReload = time.Now().UTC()
 	r.st.LastError = ""
-	r.st.DatasetGenerated = data.Generated
+	r.st.Generated = data.Generated
 	r.mu.Unlock()
 }
 
@@ -347,17 +509,38 @@ func (r *reloader) setError(err error) {
 	}
 }
 
-// status returns a copy for the manifest.
+// status returns the classic top-level serving block for the manifest.
 func (r *reloader) status() *obs.ServingStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return &obs.ServingStatus{
+		Watching:         r.watching,
+		Reloads:          r.st.Reloads,
+		LastReload:       r.st.LastReload,
+		LastError:        r.st.LastError,
+		DatasetGenerated: r.st.Generated,
+	}
+}
+
+// datasetStatus returns this dataset's own lifecycle block, sized from the
+// live snapshot.
+func (r *reloader) datasetStatus() obs.DatasetServingStatus {
+	r.mu.Lock()
 	st := r.st
-	return &st
+	r.mu.Unlock()
+	snap := r.srv.Snapshot()
+	st.Generated = snap.Generated()
+	st.NATedAddresses = snap.NATedAddresses()
+	st.DynamicPrefixes = snap.DynamicPrefixes()
+	if r.shed != nil {
+		st.Overload = r.shed.Status()
+	}
+	return st
 }
 
 // buildDataset assembles the dataset to serve, either from on-disk lists or
 // from a fresh synthetic study.
-func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Manifest, error) {
+func buildDataset(opts serveOptions) (*reuseapi.Dataset, map[string]fileStamp, *obs.Registry, *obs.Manifest, error) {
 	reg := obs.NewRegistry()
 	manifest := obs.NewManifest()
 	switch {
@@ -366,7 +549,7 @@ func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Man
 		wp.Scale = opts.scale
 		study := core.NewStudy(core.Config{Seed: opts.seed, World: &wp, SkipICMP: true, Obs: reg})
 		if _, err := study.Run(); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		data := &reuseapi.Dataset{
 			NATUsers:        map[iputil.Addr]int{},
@@ -376,47 +559,79 @@ func buildDataset(opts serveOptions) (*reuseapi.Dataset, *obs.Registry, *obs.Man
 		for _, o := range study.NATed {
 			data.NATUsers[o.Addr] = o.Users
 		}
-		return data, reg, study.Manifest(), nil
+		return data, nil, reg, study.Manifest(), nil
 	case opts.natedF != "" || opts.dynF != "":
-		data, err := loadFiles(opts)
+		data, stamps, err := loadDataset(opts.natedF, opts.dynF)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return data, reg, manifest, nil
+		return data, stamps, reg, manifest, nil
 	default:
-		return nil, nil, nil, errors.New("provide -nated/-dynamic files or -generate")
+		return nil, nil, nil, nil, errors.New("provide -nated/-dynamic files or -generate")
 	}
 }
 
-// loadFiles reads the on-disk lists into a dataset — the path shared by
-// startup and every -watch reload.
-func loadFiles(opts serveOptions) (*reuseapi.Dataset, error) {
+// errInputsMoved marks a load attempt that raced a concurrent rewrite of the
+// input files: a file's stamp moved between the pre-read and post-read stats.
+// The caller retries on the next tick rather than parsing a torn read.
+var errInputsMoved = errors.New("input files changed during read")
+
+// loadDataset reads the on-disk lists into a dataset — the path shared by
+// startup and every -watch reload — and returns each file's change
+// signature (mtime, size, content hash) taken at a moment the content is
+// known to match: every file is stat'ed before and after its read, and a
+// moved stamp fails the whole load with errInputsMoved.
+func loadDataset(natedF, dynF string) (*reuseapi.Dataset, map[string]fileStamp, error) {
+	var paths []string
+	if natedF != "" {
+		paths = append(paths, natedF)
+	}
+	if dynF != "" {
+		paths = append(paths, dynF)
+	}
+	pre := make(map[string]os.FileInfo, len(paths))
+	content := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pre[p], content[p] = fi, b
+	}
+	stamps := make(map[string]fileStamp, len(paths))
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !fi.ModTime().Equal(pre[p].ModTime()) || fi.Size() != pre[p].Size() {
+			return nil, nil, fmt.Errorf("%w: %s", errInputsMoved, p)
+		}
+		stamps[p] = fileStamp{
+			mtime: fi.ModTime(), size: fi.Size(), sum: sha256.Sum256(content[p]),
+		}
+	}
 	data := &reuseapi.Dataset{
 		NATUsers:        map[iputil.Addr]int{},
 		DynamicPrefixes: iputil.NewPrefixSet(),
 		Generated:       time.Now().UTC(),
 	}
-	if opts.natedF != "" {
-		f, err := os.Open(opts.natedF)
+	var err error
+	if natedF != "" {
+		data.NATUsers, err = blocklist.ParseNATedList(bytes.NewReader(content[natedF]))
 		if err != nil {
-			return nil, err
-		}
-		data.NATUsers, err = blocklist.ParseNATedList(f)
-		f.Close()
-		if err != nil {
-			return nil, err
+			return nil, nil, fmt.Errorf("%s: %w", natedF, err)
 		}
 	}
-	if opts.dynF != "" {
-		f, err := os.Open(opts.dynF)
+	if dynF != "" {
+		data.DynamicPrefixes, err = blocklist.ParsePrefixList(bytes.NewReader(content[dynF]))
 		if err != nil {
-			return nil, err
-		}
-		data.DynamicPrefixes, err = blocklist.ParsePrefixList(f)
-		f.Close()
-		if err != nil {
-			return nil, err
+			return nil, nil, fmt.Errorf("%s: %w", dynF, err)
 		}
 	}
-	return data, nil
+	return data, stamps, nil
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/reuseblock/reuseblock/internal/e2e"
+	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/reuseapi"
 )
@@ -62,7 +63,7 @@ func TestBuildDatasetFromFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	data, reg, manifest, err := buildDataset(serveOptions{natedF: nated, dynF: dyn})
+	data, stamps, reg, manifest, err := buildDataset(serveOptions{natedF: nated, dynF: dyn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +73,9 @@ func TestBuildDatasetFromFiles(t *testing.T) {
 	}
 	if reg == nil || manifest == nil {
 		t.Fatal("registry or manifest is nil")
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("stamps = %d files, want 2", len(stamps))
 	}
 
 	srv := reuseapi.NewServer(data)
@@ -84,7 +88,7 @@ func TestBuildDatasetFromFiles(t *testing.T) {
 }
 
 func TestBuildDatasetMissingFile(t *testing.T) {
-	_, _, _, err := buildDataset(serveOptions{natedF: filepath.Join(t.TempDir(), "nope.txt")})
+	_, _, _, _, err := buildDataset(serveOptions{natedF: filepath.Join(t.TempDir(), "nope.txt")})
 	if err == nil {
 		t.Fatal("missing file must error")
 	}
@@ -433,14 +437,13 @@ func TestReloaderKeepsServingOnBadFile(t *testing.T) {
 	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	opts := serveOptions{natedF: nated, watch: true}
-	data, err := loadFiles(opts)
+	data, stamps, err := loadDataset(nated, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := reuseapi.NewServer(data)
 	reg := obs.NewRegistry()
-	rel := newReloader(opts, srv, reg, nil, data.Generated)
+	rel := newReloader("", true, nated, "", true, time.Second, srv, reg, nil, data, stamps)
 
 	if err := os.WriteFile(nated, []byte("not-an-ip is here\n"), 0o644); err != nil {
 		t.Fatal(err)
@@ -469,4 +472,290 @@ func TestReloaderKeepsServingOnBadFile(t *testing.T) {
 	if srv.Snapshot().NATedAddresses() != 2 {
 		t.Error("recovered dataset not serving")
 	}
+}
+
+func TestParseDatasetSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    datasetSpec
+		wantErr bool
+	}{
+		{in: "pools=nated.txt,dyn.txt", want: datasetSpec{name: "pools", natedF: "nated.txt", dynF: "dyn.txt"}},
+		{in: "pools=nated.txt,", want: datasetSpec{name: "pools", natedF: "nated.txt"}},
+		{in: "pools=,dyn.txt", want: datasetSpec{name: "pools", dynF: "dyn.txt"}},
+		{in: "pools=nated.txt", want: datasetSpec{name: "pools", natedF: "nated.txt"}},
+		{in: "no-equals-sign", wantErr: true},
+		{in: "pools=,", wantErr: true},
+		{in: "pools=", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseDatasetSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseDatasetSpec(%q) = %+v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseDatasetSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseDatasetSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDatasetFlagExclusive(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-dataset", "a=" + nated, "-generate"},
+		{"-dataset", "a=" + nated, "-nated", nated},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 1 {
+			t.Errorf("%v exited %d, want 1", args, code)
+		}
+		if !strings.Contains(errb.String(), "-dataset cannot be combined") {
+			t.Errorf("%v error not reported:\n%s", args, errb.String())
+		}
+	}
+}
+
+// TestServeMultiDataset boots a two-dataset server and pins the routing
+// contract: named routes answer per dataset, the unprefixed routes alias the
+// first -dataset, /v1/greylist is mounted everywhere, and the manifest
+// carries one lifecycle block per dataset.
+func TestServeMultiDataset(t *testing.T) {
+	dir := t.TempDir()
+	natedA := filepath.Join(dir, "a.txt")
+	if err := os.WriteFile(natedA, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	natedB := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(natedB, []byte("198.51.100.9\t44\n192.0.2.3\t7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dynB := filepath.Join(dir, "b-dyn.txt")
+	if err := os.WriteFile(dynB, []byte("100.64.0.0/10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, _, out := startServe(t, []string{
+		"-dataset", "pools=" + natedA + ",",
+		"-dataset", "dial=" + natedB + "," + dynB,
+	})
+	defer cancel()
+
+	if !strings.Contains(out.String(), "dataset pools:") || !strings.Contains(out.String(), "(default)") {
+		t.Errorf("startup banner missing dataset lines:\n%s", out.String())
+	}
+
+	// Named routes hit their own snapshots.
+	if code, body := getJSONStatus(t, base, "/v1/pools/stats"); code != 200 || !strings.Contains(body, `"nated_addresses":1`) {
+		t.Errorf("/v1/pools/stats = %d %s", code, body)
+	}
+	if code, body := getJSONStatus(t, base, "/v1/dial/stats"); code != 200 || !strings.Contains(body, `"nated_addresses":2`) {
+		t.Errorf("/v1/dial/stats = %d %s", code, body)
+	}
+	// The unprefixed route aliases the first -dataset, byte-identically.
+	_, named := getJSONStatus(t, base, "/v1/pools/stats")
+	_, unprefixed := getJSONStatus(t, base, "/v1/stats")
+	if named != unprefixed {
+		t.Errorf("unprefixed /v1/stats diverges from default dataset:\n%s\nvs\n%s", unprefixed, named)
+	}
+	// Per-dataset verdicts: the address in dataset dial is unknown to pools.
+	if code, body := getJSONStatus(t, base, "/v1/dial/check?ip=198.51.100.9"); code != 200 || !strings.Contains(body, `"reused":true`) {
+		t.Errorf("/v1/dial/check = %d %s", code, body)
+	}
+	if code, body := getJSONStatus(t, base, "/v1/pools/check?ip=198.51.100.9"); code != 200 || !strings.Contains(body, `"reused":false`) {
+		t.Errorf("/v1/pools/check = %d %s", code, body)
+	}
+	// Greylist is mounted per dataset too.
+	if code, body := getJSONStatus(t, base, "/v1/dial/greylist?ip=198.51.100.9"); code != 200 || !strings.Contains(body, `"action":"tempfail"`) {
+		t.Errorf("/v1/dial/greylist = %d %s", code, body)
+	}
+	// Unknown datasets and endpoints 404 with a JSON error.
+	if code, body := getJSONStatus(t, base, "/v1/nope/stats"); code != 404 || !strings.Contains(body, "unknown dataset") {
+		t.Errorf("/v1/nope/stats = %d %s", code, body)
+	}
+	if code, body := getJSONStatus(t, base, "/v1/dial/nope"); code != 404 || !strings.Contains(body, "unknown endpoint") {
+		t.Errorf("/v1/dial/nope = %d %s", code, body)
+	}
+
+	// The manifest carries one block per dataset, default first.
+	code, body := getJSONStatus(t, base, "/debug/manifest")
+	if code != 200 {
+		t.Fatalf("/debug/manifest = %d", code)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving == nil || len(m.Serving.Datasets) != 2 {
+		t.Fatalf("manifest datasets = %+v", m.Serving)
+	}
+	ds := m.Serving.Datasets
+	if ds[0].Name != "pools" || !ds[0].Default || ds[0].NATedAddresses != 1 {
+		t.Errorf("default dataset block = %+v", ds[0])
+	}
+	if ds[1].Name != "dial" || ds[1].Default || ds[1].NATedAddresses != 2 || ds[1].DynamicPrefixes != 1 {
+		t.Errorf("second dataset block = %+v", ds[1])
+	}
+
+	// Per-dataset request counters carry the dataset label.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `dataset="pools"`) || !strings.Contains(string(metrics), `dataset="dial"`) {
+		t.Errorf("/metrics missing dataset labels:\n%s", metrics)
+	}
+}
+
+// TestServeMultiDatasetWatchDelta drives the incremental reload end to end:
+// a small append to one dataset's file must land via the delta path (the
+// delta counter moves) without touching the other dataset.
+func TestServeMultiDatasetWatchDelta(t *testing.T) {
+	dir := t.TempDir()
+	natedA := filepath.Join(dir, "a.txt")
+	var big bytes.Buffer
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&big, "203.0.113.%d\t%d\n", i, i+2)
+	}
+	if err := os.WriteFile(natedA, big.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	natedB := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(natedB, []byte("198.51.100.9\t44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, _, _ := startServe(t, []string{
+		"-dataset", "pools=" + natedA + ",",
+		"-dataset", "dial=" + natedB + ",",
+		"-watch", "-watch-interval", "30ms",
+	})
+	defer cancel()
+
+	// Append one address: 1 op against 64 — well under the delta threshold.
+	big.WriteString("198.18.0.1\t9\n")
+	if err := os.WriteFile(natedA, big.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2e.WaitFor(10*time.Second, 20*time.Millisecond, func() (bool, error) {
+		_, body := getJSONStatus(t, base, "/v1/pools/stats")
+		return strings.Contains(body, `"nated_addresses":65`), nil
+	}); err != nil {
+		t.Fatalf("delta reload never landed: %v", err)
+	}
+
+	code, body := getJSONStatus(t, base, "/debug/manifest")
+	if code != 200 {
+		t.Fatalf("/debug/manifest = %d", code)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	var pools, dial *obs.DatasetServingStatus
+	for i := range m.Serving.Datasets {
+		switch m.Serving.Datasets[i].Name {
+		case "pools":
+			pools = &m.Serving.Datasets[i]
+		case "dial":
+			dial = &m.Serving.Datasets[i]
+		}
+	}
+	if pools == nil || pools.Reloads < 1 || pools.DeltaReloads < 1 {
+		t.Errorf("pools reload block = %+v, want >=1 delta reload", pools)
+	}
+	if dial == nil || dial.Reloads != 0 {
+		t.Errorf("dial reload block = %+v, want untouched", dial)
+	}
+}
+
+// TestReloaderCatchesSameStampRewrite pins the content-hash half of
+// fileStamp: a rewrite that preserves both size and mtime (as a tool
+// restoring timestamps would) must still reload, because the content hash
+// moved.
+func TestReloaderCatchesSameStampRewrite(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	if err := os.WriteFile(nated, []byte("203.0.113.7\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stamp := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	if err := os.Chtimes(nated, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	data, stamps, err := loadDataset(nated, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := reuseapi.NewServer(data)
+	rel := newReloader("", true, nated, "", true, time.Second, srv, obs.NewRegistry(), nil, data, stamps)
+
+	// Same byte count, same mtime, different content.
+	if err := os.WriteFile(nated, []byte("198.51.100.9\t12\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(nated, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	rel.checkOnce()
+	if st := rel.status(); st.Reloads != 1 {
+		t.Fatalf("same-stamp rewrite not reloaded: %+v", st)
+	}
+	if v := srv.Check(mustAddr(t, "198.51.100.9")); !v.Reused {
+		t.Error("rewritten address not serving after same-stamp rewrite")
+	}
+}
+
+// TestReloaderByteIdenticalRewriteKeepsSnapshot pins the empty-delta path: a
+// touch that rewrites identical bytes must count as a reload (watchers see
+// the attempt land) but keep the served snapshot — and its ETags — intact.
+func TestReloaderByteIdenticalRewriteKeepsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	nated := filepath.Join(dir, "nated.txt")
+	content := []byte("203.0.113.7\t12\n")
+	if err := os.WriteFile(nated, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, stamps, err := loadDataset(nated, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := reuseapi.NewServer(data)
+	rel := newReloader("", true, nated, "", true, time.Second, srv, obs.NewRegistry(), nil, data, stamps)
+	before := srv.Snapshot()
+
+	time.Sleep(5 * time.Millisecond) // ensure the rewrite can move mtime
+	if err := os.WriteFile(nated, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := os.Chtimes(nated, now, now); err != nil {
+		t.Fatal(err)
+	}
+	rel.checkOnce()
+	if st := rel.status(); st.Reloads != 1 {
+		t.Fatalf("byte-identical rewrite not counted as a reload: %+v", st)
+	}
+	if srv.Snapshot() != before {
+		t.Error("byte-identical rewrite recompiled the snapshot")
+	}
+}
+
+func mustAddr(t *testing.T, s string) iputil.Addr {
+	t.Helper()
+	a, err := iputil.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }

@@ -27,6 +27,12 @@ type LoadGen struct {
 	Concurrency int
 	Duration    time.Duration
 
+	// Datasets, when set, spreads workers round-robin across the named
+	// datasets' /v1/{name}/check routes of a multi-dataset server; the
+	// empty string targets the unprefixed default route. Empty keeps the
+	// single-route workload.
+	Datasets []string
+
 	// BatchFraction in [0,1] is the share of workers dedicated to POST
 	// batch checks of BatchSize addresses (the heavy endpoint class); the
 	// rest stay closed-loop single GET clients (the cheap class). The
@@ -166,6 +172,12 @@ func (lg LoadGen) Run() (LoadResult, error) {
 			if len(lg.ClientIPs) > 0 {
 				clientIP = lg.ClientIPs[w%len(lg.ClientIPs)]
 			}
+			checkPath := "/v1/check"
+			if len(lg.Datasets) > 0 {
+				if ds := lg.Datasets[w%len(lg.Datasets)]; ds != "" {
+					checkPath = "/v1/" + ds + "/check"
+				}
+			}
 			next := time.Now()
 			for i := w; time.Now().Before(deadline); i++ {
 				if interval > 0 {
@@ -182,13 +194,13 @@ func (lg LoadGen) Run() (LoadResult, error) {
 				var err error
 				if w < nBatch {
 					s.class = "heavy"
-					req, err = http.NewRequest(http.MethodPost, lg.BaseURL+"/v1/check",
+					req, err = http.NewRequest(http.MethodPost, lg.BaseURL+checkPath,
 						bytes.NewReader(batchBody))
 					if req != nil {
 						req.Header.Set("Content-Type", "application/json")
 					}
 				} else {
-					url := lg.BaseURL + "/v1/check?ip=" + lg.Targets[i%len(lg.Targets)]
+					url := lg.BaseURL + checkPath + "?ip=" + lg.Targets[i%len(lg.Targets)]
 					req, err = http.NewRequest(http.MethodGet, url, nil)
 				}
 				if err != nil {

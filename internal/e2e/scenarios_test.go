@@ -81,6 +81,33 @@ func TestE2EScenarios(t *testing.T) {
 		Run:         runWatchBadReload,
 	})
 	su.Add(Scenario{
+		Name:        "multi-dataset",
+		CrawlHours:  12,
+		Description: "three named datasets behind one server; routing, stats, manifest and metrics stay per-dataset",
+		// Seed shared with baseline: proven to yield both NATed addresses
+		// and a dynamic pool at the test scale (not every seed does).
+		Seed: 42,
+		Crawlers:    2,
+		Smoke:       true,
+		Datasets: []DatasetSpec{
+			{Name: "all", Nated: true, Dynamic: true},
+			{Name: "pools", Nated: true},
+			{Name: "dial", Dynamic: true},
+		},
+		Run: runMultiDataset,
+	})
+	su.Add(Scenario{
+		Name:        "greylist",
+		CrawlHours:  12,
+		Description: "/v1/greylist tempfails reused addresses with a retry window and blocks clean ones",
+		// Seed shared with blackout: a world with reachable users and a
+		// dynamic pool at the test scale.
+		Seed: 49,
+		Crawlers:    2,
+		Smoke:       true,
+		Run:         runGreylist,
+	})
+	su.Add(Scenario{
 		Name:        "check-load",
 		CrawlHours:  12,
 		Description: "concurrent load on /v1/check; zero errors, latency recorded to BENCH_e2e.json",
@@ -186,6 +213,14 @@ func runWatchReload(s *Stack) error {
 	if err != nil {
 		return err
 	}
+	// The precomputed endpoints negotiate encoding, so every answer must
+	// carry Vary: Accept-Encoding or a shared cache will serve the wrong
+	// representation.
+	if vary, err := s.Header("/v1/list", "Vary"); err != nil {
+		return err
+	} else if vary != "Accept-Encoding" {
+		return fmt.Errorf("/v1/list Vary = %q, want Accept-Encoding", vary)
+	}
 
 	// A byte-identical rewrite trips the watcher but must compile to the
 	// same dataset: the ETag pins that across as many reloads as we force.
@@ -249,6 +284,11 @@ func runWatchReload(s *Stack) error {
 	}
 	if grown == etag {
 		return fmt.Errorf("dataset grew but /v1/list ETag did not change")
+	}
+	if vary, err := s.Header("/v1/list", "Vary"); err != nil {
+		return err
+	} else if vary != "Accept-Encoding" {
+		return fmt.Errorf("reload dropped Vary: got %q, want Accept-Encoding", vary)
 	}
 	return s.CheckServedAgainstOracle()
 }
@@ -329,6 +369,179 @@ func runWatchBadReload(s *Stack) error {
 		return fmt.Errorf("healed server still reports reload error %q", m.Serving.LastError)
 	}
 	return s.CheckServedAgainstOracle()
+}
+
+// runMultiDataset boots blserve with three named slices of the pipeline
+// outputs and asserts the registry keeps them apart: per-dataset routes,
+// stats, manifest blocks and metric labels, with the unprefixed routes
+// aliasing the default, and a mixed load run touching every route cleanly.
+func runMultiDataset(s *Stack) error {
+	all, err := s.DatasetStats("all")
+	if err != nil {
+		return err
+	}
+	if all.Empty || all.NATedAddresses == 0 || all.DynamicPrefixes == 0 {
+		return fmt.Errorf("default dataset is degenerate: %+v", all)
+	}
+	pools, err := s.DatasetStats("pools")
+	if err != nil {
+		return err
+	}
+	if pools.NATedAddresses != all.NATedAddresses || pools.DynamicPrefixes != 0 {
+		return fmt.Errorf("pools stats %+v, want %d NATed and no prefixes", pools, all.NATedAddresses)
+	}
+	dial, err := s.DatasetStats("dial")
+	if err != nil {
+		return err
+	}
+	if dial.NATedAddresses != 0 || dial.DynamicPrefixes != all.DynamicPrefixes {
+		return fmt.Errorf("dial stats %+v, want %d prefixes and no NATed", dial, all.DynamicPrefixes)
+	}
+
+	// The unprefixed routes alias the first -dataset flag ("all").
+	unprefixed, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	if unprefixed != all {
+		return fmt.Errorf("unprefixed stats %+v != default dataset stats %+v", unprefixed, all)
+	}
+
+	// The same address answers per-dataset: NATed in "pools", clean in
+	// "dial" (which only serves the dynamic prefixes).
+	served, err := s.ServedNATed()
+	if err != nil {
+		return err
+	}
+	if len(served) == 0 {
+		return fmt.Errorf("no served NATed addresses to probe")
+	}
+	ip := served[0]
+	pv, err := s.DatasetVerdict("pools", ip)
+	if err != nil {
+		return err
+	}
+	if !pv.NATed {
+		return fmt.Errorf("pools verdict for %s = %+v, want nated", ip, pv)
+	}
+	dv, err := s.DatasetVerdict("dial", ip)
+	if err != nil {
+		return err
+	}
+	if dv.NATed {
+		return fmt.Errorf("dial verdict for %s = %+v, want not nated", ip, dv)
+	}
+
+	// Unknown names 404 instead of falling through to the default dataset.
+	if code, _, _, err := s.get("/v1/nosuch/stats"); err != nil {
+		return err
+	} else if code != 404 {
+		return fmt.Errorf("GET /v1/nosuch/stats = %d, want 404", code)
+	}
+
+	m, err := s.Manifest()
+	if err != nil {
+		return err
+	}
+	if m.Serving == nil || len(m.Serving.Datasets) != 3 {
+		return fmt.Errorf("manifest carries no per-dataset blocks: %+v", m.Serving)
+	}
+	if d := m.Serving.Datasets[0]; d.Name != "all" || !d.Default {
+		return fmt.Errorf("manifest dataset[0] = %+v, want default %q", d, "all")
+	}
+	metrics, err := s.Metrics()
+	if err != nil {
+		return err
+	}
+	for _, label := range []string{`dataset="all"`, `dataset="pools"`, `dataset="dial"`} {
+		if !strings.Contains(metrics, label) {
+			return fmt.Errorf("metrics carry no %s samples", label)
+		}
+	}
+
+	// A short mixed load across every route (including the unprefixed
+	// alias) must complete error-free.
+	lg := LoadGen{
+		BaseURL:     s.BaseURL,
+		Targets:     append(served, "192.0.2.1"),
+		Datasets:    []string{"", "all", "pools", "dial"},
+		Concurrency: 4,
+		Duration:    time.Second,
+	}
+	res, err := lg.Run()
+	if err != nil {
+		return err
+	}
+	if res.Errors > 0 || res.Requests == 0 {
+		return fmt.Errorf("multi-dataset load run: %d errors over %d requests", res.Errors, res.Requests)
+	}
+	return s.CheckServedAgainstOracle()
+}
+
+// runGreylist asserts the mitigation endpoint end to end: reused addresses
+// (NATed or inside a dynamic pool) come back tempfail with a retry window
+// and an expiry, clean addresses come back block with neither, and the
+// embedded verdict agrees with /v1/check.
+func runGreylist(s *Stack) error {
+	served, err := s.ServedNATed()
+	if err != nil {
+		return err
+	}
+	prefixes, err := s.ServedPrefixes()
+	if err != nil {
+		return err
+	}
+	if len(served) == 0 || len(prefixes) == 0 {
+		return fmt.Errorf("dataset too small to probe greylist (%d NATed, %d prefixes)",
+			len(served), len(prefixes))
+	}
+	pfx, err := iputil.ParsePrefix(prefixes[0])
+	if err != nil {
+		return err
+	}
+
+	checkReused := func(ip string) error {
+		ans, err := s.Greylist("", ip)
+		if err != nil {
+			return err
+		}
+		if ans.Action != "tempfail" || !ans.Reused {
+			return fmt.Errorf("greylist(%s) = %+v, want reused tempfail", ip, ans)
+		}
+		if ans.MinDelaySeconds <= 0 || ans.RetryWindowSeconds <= ans.MinDelaySeconds {
+			return fmt.Errorf("greylist(%s) window %d/%d makes no sense",
+				ip, ans.MinDelaySeconds, ans.RetryWindowSeconds)
+		}
+		if ans.Expires.IsZero() || !ans.Expires.After(time.Now()) {
+			return fmt.Errorf("greylist(%s) expires %v, want a future instant", ip, ans.Expires)
+		}
+		v, err := s.Verdict(ip)
+		if err != nil {
+			return err
+		}
+		if ans.Verdict != v {
+			return fmt.Errorf("greylist verdict %+v disagrees with /v1/check %+v", ans.Verdict, v)
+		}
+		return nil
+	}
+	if err := checkReused(served[0]); err != nil {
+		return err
+	}
+	if err := checkReused(pfx.Nth(1).String()); err != nil {
+		return err
+	}
+
+	clean, err := s.Greylist("", "192.0.2.1")
+	if err != nil {
+		return err
+	}
+	if clean.Action != "block" || clean.Reused {
+		return fmt.Errorf("greylist(clean) = %+v, want non-reused block", clean)
+	}
+	if clean.MinDelaySeconds != 0 || clean.RetryWindowSeconds != 0 || !clean.Expires.IsZero() {
+		return fmt.Errorf("greylist(clean) carries a greylisting window: %+v", clean)
+	}
+	return nil
 }
 
 // runCheckLoad drives the zero-alloc check path concurrently and records the

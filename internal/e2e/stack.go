@@ -38,8 +38,22 @@ type StackConfig struct {
 	// Shed, when non-nil, starts blserve with -shed and these admission
 	// parameters — the overload-resilience scenarios' knob.
 	Shed *ShedParams
+	// Datasets, when non-empty, boots blserve in multi-dataset mode with one
+	// repeated -dataset flag per spec, each slicing the pipeline's two list
+	// files. The first entry is the default dataset the unprefixed /v1/*
+	// routes alias.
+	Datasets []DatasetSpec
 	// BootTimeout bounds each pipeline stage (crawl, detect, serve-ready).
 	BootTimeout time.Duration
+}
+
+// DatasetSpec names one blserve dataset and selects which of the pipeline's
+// outputs it serves: the merged NATed list, the detected dynamic prefixes,
+// or both.
+type DatasetSpec struct {
+	Name    string
+	Nated   bool
+	Dynamic bool
 }
 
 // ShedParams maps onto blserve's -shed* flags. Zero fields are omitted so
@@ -231,10 +245,20 @@ func BootStack(cfg StackConfig) (*Stack, error) {
 	}
 
 	// Stage 3 — serve the datasets on an ephemeral loopback port.
-	serveArgs := []string{
-		"-addr", "127.0.0.1:0",
-		"-nated", st.NatedPath,
-		"-dynamic", st.PrefixesPath,
+	serveArgs := []string{"-addr", "127.0.0.1:0"}
+	if len(cfg.Datasets) > 0 {
+		for _, ds := range cfg.Datasets {
+			nated, dyn := "", ""
+			if ds.Nated {
+				nated = st.NatedPath
+			}
+			if ds.Dynamic {
+				dyn = st.PrefixesPath
+			}
+			serveArgs = append(serveArgs, "-dataset", fmt.Sprintf("%s=%s,%s", ds.Name, nated, dyn))
+		}
+	} else {
+		serveArgs = append(serveArgs, "-nated", st.NatedPath, "-dynamic", st.PrefixesPath)
 	}
 	if cfg.Watch {
 		serveArgs = append(serveArgs, "-watch", "-watch-interval", cfg.WatchInterval.String())
@@ -419,6 +443,46 @@ func (s *Stack) Stats() (reuseapi.Stats, error) {
 	var st reuseapi.Stats
 	err := s.GetJSON("/v1/stats", &st)
 	return st, err
+}
+
+// DatasetStats fetches /v1/{name}/stats — the named route of a
+// multi-dataset server.
+func (s *Stack) DatasetStats(name string) (reuseapi.Stats, error) {
+	var st reuseapi.Stats
+	err := s.GetJSON("/v1/"+name+"/stats", &st)
+	return st, err
+}
+
+// DatasetVerdict fetches one GET /v1/{name}/check answer.
+func (s *Stack) DatasetVerdict(name, ip string) (reuseapi.Verdict, error) {
+	var v reuseapi.Verdict
+	err := s.GetJSON("/v1/"+name+"/check?ip="+ip, &v)
+	return v, err
+}
+
+// Greylist fetches one GET /v1/greylist answer; dataset "" targets the
+// unprefixed route, a name the prefixed one.
+func (s *Stack) Greylist(dataset, ip string) (reuseapi.GreylistAnswer, error) {
+	var ans reuseapi.GreylistAnswer
+	path := "/v1/greylist?ip=" + ip
+	if dataset != "" {
+		path = "/v1/" + dataset + "/greylist?ip=" + ip
+	}
+	err := s.GetJSON(path, &ans)
+	return ans, err
+}
+
+// Header returns one response header of a 200 GET — the scenarios' probe
+// for the caching contract (Vary, ETag interplay).
+func (s *Stack) Header(path, name string) (string, error) {
+	code, h, _, err := s.get(path)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("e2e: GET %s = %d", path, code)
+	}
+	return h.Get(name), nil
 }
 
 // Manifest fetches /debug/manifest.

@@ -71,7 +71,7 @@ func TestStackConfigWithDefaults(t *testing.T) {
 	}
 	set := StackConfig{Seed: 7, Scale: 0.5, CrawlDuration: time.Hour,
 		Crawlers: 3, WatchInterval: time.Second, BootTimeout: time.Minute}
-	if got := set.withDefaults(); got != set {
+	if got := set.withDefaults(); !reflect.DeepEqual(got, set) {
 		t.Errorf("explicit config altered by defaulting: %+v -> %+v", set, got)
 	}
 }

@@ -28,6 +28,9 @@ type Scenario struct {
 	// Shed, when non-nil, boots blserve with -shed and these admission
 	// parameters (overload-resilience scenarios).
 	Shed *ShedParams
+	// Datasets, when non-empty, boots blserve in multi-dataset mode (one
+	// -dataset flag per entry; the first is the default).
+	Datasets []DatasetSpec
 
 	// Smoke marks the scenario as part of the -short subset CI runs on
 	// every push; the rest only run in the nightly full suite.
@@ -60,6 +63,7 @@ func (sc Scenario) config(spec testkit.WorldSpec) StackConfig {
 		Faults:        sc.Faults,
 		Watch:         sc.Watch,
 		Shed:          sc.Shed,
+		Datasets:      sc.Datasets,
 	}
 }
 

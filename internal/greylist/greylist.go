@@ -121,6 +121,43 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Recommendation is the stateless serving-layer form of a greylist
+// decision: what a blocklist consumer that has not adopted the stateful
+// Engine should do with one listed address, and for how long. It is what
+// blserve's /v1/greylist endpoint answers.
+type Recommendation struct {
+	// Action is TempFail for reused addresses (greylist instead of block)
+	// and Block for addresses with no reuse evidence.
+	Action Action
+	// MinDelay and RetryWindow carry the greylisting window for TempFail
+	// recommendations (zero otherwise): reject retries earlier than
+	// MinDelay, accept one between MinDelay and RetryWindow.
+	MinDelay    time.Duration
+	RetryWindow time.Duration
+	// Expires is when the recommendation should be re-evaluated: the
+	// listing TTL for a greylisted reused address. Zero for Block —
+	// non-reused listings follow the consumer's standard feed lifecycle.
+	Expires time.Time
+}
+
+// Recommend maps a reuse verdict onto the paper's Section 6 mitigation: a
+// reused address is greylisted with this config's window and a listing TTL
+// of one retry window (reuse means today's abuser is tomorrow's bystander,
+// so the entry must not outlive the evidence), while a non-reused address
+// keeps standard blocklist handling.
+func (c Config) Recommend(reused bool, now time.Time) Recommendation {
+	if !reused {
+		return Recommendation{Action: Block}
+	}
+	c.applyDefaults()
+	return Recommendation{
+		Action:      TempFail,
+		MinDelay:    c.MinDelay,
+		RetryWindow: c.RetryWindow,
+		Expires:     now.Add(c.RetryWindow),
+	}
+}
+
 // Engine is the stateful greylist: it tracks first-seen and passed sources.
 type Engine struct {
 	cfg     Config

@@ -218,3 +218,36 @@ func TestSimulateAbuseRetryStillCounted(t *testing.T) {
 		t.Errorf("retrying abuse = %+v, want AbuseAllowed 1", out)
 	}
 }
+
+// TestRecommend pins the stateless serving-layer recommendation blserve's
+// /v1/greylist endpoint answers: tempfail with the configured window for
+// reused addresses, bare block otherwise.
+func TestRecommend(t *testing.T) {
+	now := time.Date(2026, 5, 1, 12, 0, 0, 0, time.UTC)
+
+	rec := Config{}.Recommend(false, now)
+	if rec.Action != Block || rec.MinDelay != 0 || rec.RetryWindow != 0 || !rec.Expires.IsZero() {
+		t.Errorf("Recommend(clean) = %+v, want bare Block", rec)
+	}
+
+	// Defaults apply for reused addresses.
+	rec = Config{}.Recommend(true, now)
+	if rec.Action != TempFail || rec.MinDelay != 5*time.Minute || rec.RetryWindow != 24*time.Hour {
+		t.Errorf("Recommend(reused, defaults) = %+v", rec)
+	}
+	if !rec.Expires.Equal(now.Add(24 * time.Hour)) {
+		t.Errorf("default Expires = %v, want now+24h", rec.Expires)
+	}
+
+	// Explicit windows flow through.
+	cfg := Config{MinDelay: time.Minute, RetryWindow: 2 * time.Hour}
+	rec = cfg.Recommend(true, now)
+	if rec.MinDelay != time.Minute || rec.RetryWindow != 2*time.Hour ||
+		!rec.Expires.Equal(now.Add(2*time.Hour)) {
+		t.Errorf("Recommend(reused, explicit) = %+v", rec)
+	}
+	// The value receiver must not have mutated the caller's config.
+	if cfg.PassLifetime != 0 {
+		t.Errorf("Recommend mutated the config: %+v", cfg)
+	}
+}

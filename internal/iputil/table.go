@@ -39,6 +39,64 @@ func (t *Table[V]) Insert(p Prefix, v V) {
 	n.val, n.set = v, true
 }
 
+// InsertCopy returns a table that associates v with p, sharing every
+// untouched node with the receiver. Only the nodes on the path to p are
+// copied (≤32 of them), so building a successor table for a small delta
+// costs O(delta·32) regardless of table size. The receiver is unchanged and
+// remains safe for concurrent readers.
+func (t *Table[V]) InsertCopy(p Prefix, v V) *Table[V] {
+	nt := &Table[V]{n: t.n}
+	root := *t.root
+	nt.root = &root
+	n := nt.root
+	base := uint32(p.Base())
+	for i := 0; i < p.Bits(); i++ {
+		bit := base >> (31 - uint(i)) & 1
+		var child trieNode[V]
+		if n.child[bit] != nil {
+			child = *n.child[bit]
+		}
+		n.child[bit] = &child
+		n = &child
+	}
+	if !n.set {
+		nt.n++
+	}
+	n.val, n.set = v, true
+	return nt
+}
+
+// DeleteCopy returns a table without an entry at exactly p, sharing every
+// untouched node with the receiver; path nodes left with no value and no
+// children are pruned so the result is shaped like a freshly built table.
+// When p is not stored the receiver itself is returned.
+func (t *Table[V]) DeleteCopy(p Prefix) *Table[V] {
+	if _, ok := t.LookupPrefix(p); !ok {
+		return t
+	}
+	nt := &Table[V]{n: t.n - 1}
+	nt.root = deleteCopyNode(t.root, uint32(p.Base()), 0, p.Bits())
+	if nt.root == nil {
+		nt.root = &trieNode[V]{}
+	}
+	return nt
+}
+
+func deleteCopyNode[V any](n *trieNode[V], base uint32, depth, bits int) *trieNode[V] {
+	c := *n
+	if depth == bits {
+		var zero V
+		c.val, c.set = zero, false
+	} else {
+		bit := base >> (31 - uint(depth)) & 1
+		c.child[bit] = deleteCopyNode(n.child[bit], base, depth+1, bits)
+	}
+	if !c.set && c.child[0] == nil && c.child[1] == nil {
+		return nil
+	}
+	return &c
+}
+
 // Lookup returns the value of the longest prefix containing a.
 func (t *Table[V]) Lookup(a Addr) (v V, ok bool) {
 	n := t.root

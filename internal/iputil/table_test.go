@@ -129,3 +129,112 @@ func TestTableAgainstLinearScan(t *testing.T) {
 		}
 	}
 }
+
+// TestInsertCopyDeleteCopyAgainstFreshBuild drives a random edit sequence
+// through the persistent path-copy operations and requires the result to
+// behave exactly like a table freshly built from the surviving prefixes —
+// including after deletions, which must prune empty branches the way a
+// fresh build never creates them.
+func TestInsertCopyDeleteCopyAgainstFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	live := map[Prefix]int{}
+	tbl := NewTable[int]()
+	for step := 0; step < 400; step++ {
+		p := PrefixFrom(Addr(rng.Uint32()), 4+rng.Intn(29))
+		if rng.Intn(3) == 0 && len(live) > 0 {
+			for q := range live {
+				p = q
+				break
+			}
+			tbl = tbl.DeleteCopy(p)
+			delete(live, p)
+		} else {
+			v := rng.Intn(1000)
+			tbl = tbl.InsertCopy(p, v)
+			live[p] = v
+		}
+
+		if tbl.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, want %d", step, tbl.Len(), len(live))
+		}
+		fresh := NewTable[int]()
+		for q, v := range live {
+			fresh.Insert(q, v)
+		}
+		for i := 0; i < 50; i++ {
+			a := Addr(rng.Uint32())
+			gv, gok := tbl.Lookup(a)
+			wv, wok := fresh.Lookup(a)
+			if gok != wok || gv != wv {
+				t.Fatalf("step %d: Lookup(%v) = %d,%v; fresh build says %d,%v",
+					step, a, gv, gok, wv, wok)
+			}
+		}
+		for q, v := range live {
+			if gv, ok := tbl.LookupPrefix(q); !ok || gv != v {
+				t.Fatalf("step %d: LookupPrefix(%v) = %d,%v; want %d,true", step, q, gv, ok, v)
+			}
+		}
+	}
+}
+
+// TestInsertCopyLeavesReceiverUntouched pins persistence: the old table
+// must still answer exactly as before after derived versions are built from
+// it — that is what lets in-flight readers keep a snapshot while the
+// reloader compiles its successor.
+func TestInsertCopyLeavesReceiverUntouched(t *testing.T) {
+	base := NewTable[string]()
+	base.Insert(MustParsePrefix("10.0.0.0/8"), "coarse")
+	base.Insert(MustParsePrefix("10.1.0.0/16"), "mid")
+
+	derived := base.InsertCopy(MustParsePrefix("10.1.2.0/24"), "fine")
+	derived = derived.DeleteCopy(MustParsePrefix("10.1.0.0/16"))
+
+	if base.Len() != 2 {
+		t.Errorf("base Len = %d after derivations, want 2", base.Len())
+	}
+	if got, ok := base.Lookup(MustParseAddr("10.1.2.3")); !ok || got != "mid" {
+		t.Errorf("base Lookup(10.1.2.3) = %q,%v; want mid (unchanged)", got, ok)
+	}
+	if got, ok := derived.Lookup(MustParseAddr("10.1.2.3")); !ok || got != "fine" {
+		t.Errorf("derived Lookup(10.1.2.3) = %q,%v; want fine", got, ok)
+	}
+	if got, ok := derived.Lookup(MustParseAddr("10.1.9.9")); !ok || got != "coarse" {
+		t.Errorf("derived Lookup(10.1.9.9) = %q,%v; want coarse (mid deleted)", got, ok)
+	}
+}
+
+// TestDeleteCopyAbsentReturnsReceiver pins the no-op fast path: deleting a
+// prefix that is not a member returns the receiver itself, not a copy.
+func TestDeleteCopyAbsentReturnsReceiver(t *testing.T) {
+	tbl := NewTable[int]()
+	tbl = tbl.InsertCopy(MustParsePrefix("10.0.0.0/8"), 1)
+	if got := tbl.DeleteCopy(MustParsePrefix("11.0.0.0/8")); got != tbl {
+		t.Error("DeleteCopy of an absent prefix did not return the receiver")
+	}
+	// Deleting a covering-but-not-member prefix is also a no-op.
+	if got := tbl.DeleteCopy(MustParsePrefix("10.0.0.0/16")); got != tbl {
+		t.Error("DeleteCopy of a non-member sub-prefix did not return the receiver")
+	}
+}
+
+// TestDeleteCopyToEmpty empties a table via DeleteCopy and requires a valid,
+// zero-length table.
+func TestDeleteCopyToEmpty(t *testing.T) {
+	tbl := NewTable[int]()
+	tbl = tbl.InsertCopy(MustParsePrefix("10.0.0.0/8"), 1)
+	tbl = tbl.InsertCopy(MustParsePrefix("10.0.0.0/24"), 2)
+	tbl = tbl.DeleteCopy(MustParsePrefix("10.0.0.0/8"))
+	tbl = tbl.DeleteCopy(MustParsePrefix("10.0.0.0/24"))
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d after deleting every member", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(MustParseAddr("10.0.0.1")); ok {
+		t.Error("emptied table still answers lookups")
+	}
+	// And it must still accept inserts.
+	tbl = tbl.InsertCopy(MustParsePrefix("10.0.0.0/8"), 3)
+	if v, ok := tbl.Lookup(MustParseAddr("10.0.0.1")); !ok || v != 3 {
+		t.Errorf("reinsert after emptying = %d,%v", v, ok)
+	}
+}

@@ -74,6 +74,31 @@ type ServingStatus struct {
 	// Overload is the overload-resilience controller's state; nil when the
 	// server runs without admission control (-shed off).
 	Overload *OverloadStatus `json:"overload,omitempty"`
+	// Datasets carries one block per named dataset when the server runs
+	// multi-dataset; the top-level fields then describe the default dataset.
+	// Nil for classic single-dataset serving.
+	Datasets []DatasetServingStatus `json:"datasets,omitempty"`
+}
+
+// DatasetServingStatus is one named dataset's lifecycle block in a
+// multi-dataset server's manifest.
+type DatasetServingStatus struct {
+	Name string `json:"name"`
+	// Default marks the dataset the unprefixed /v1/* routes alias.
+	Default bool `json:"default,omitempty"`
+	// Reloads counts this dataset's swaps; DeltaReloads is the subset that
+	// went through the incremental delta compile instead of a full one.
+	Reloads      int64     `json:"reloads"`
+	DeltaReloads int64     `json:"delta_reloads"`
+	LastReload   time.Time `json:"last_reload"`
+	LastError    string    `json:"last_reload_error,omitempty"`
+	// Generated is the served snapshot's build stamp; NATedAddresses and
+	// DynamicPrefixes size it.
+	Generated       time.Time `json:"generated"`
+	NATedAddresses  int       `json:"nated_addresses"`
+	DynamicPrefixes int       `json:"dynamic_prefixes"`
+	// Overload is this dataset's admission-control state, when shedding.
+	Overload *OverloadStatus `json:"overload,omitempty"`
 }
 
 // OverloadStatus is the admission-control layer's manifest block: serving

@@ -8,6 +8,11 @@
 //	GET  /v1/list                  -> the full plain-text list (ETag, gzip)
 //	GET  /v1/prefixes              -> dynamic prefixes, one CIDR per line (ETag, gzip)
 //	GET  /v1/stats                 -> dataset summary
+//	GET  /v1/greylist?ip=192.0.2.7 -> verdict + recommended action/expiry (§6 mitigation)
+//
+// A Registry (registry.go) serves many named datasets behind one mux: every
+// endpoint is also reachable at /v1/{dataset}/..., with the unprefixed
+// routes aliasing the default dataset.
 //
 // The serving path is built around an immutable compiled Snapshot per
 // dataset (see snapshot.go): handlers read one atomic pointer, do a binary
@@ -26,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reuseblock/reuseblock/internal/greylist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 	"github.com/reuseblock/reuseblock/internal/obs"
 	"github.com/reuseblock/reuseblock/internal/shed"
@@ -90,6 +96,12 @@ type Server struct {
 	// /healthz + /readyz probes. Nil (the default) keeps every serving path
 	// byte-identical to the unguarded build (see shed.go).
 	Shed *shed.Controller
+	// Greylist tunes the /v1/greylist recommendation windows; the zero
+	// value takes the greylist package's defaults.
+	Greylist greylist.Config
+
+	// now stubs the /v1/greylist clock in tests; nil means time.Now.
+	now func() time.Time
 }
 
 // NewServer builds a server over the dataset, compiling its first snapshot.
@@ -130,29 +142,18 @@ func normalize(data *Dataset) *Dataset {
 // backs everything else (path cleaning, /metrics, /debug/...).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	check, list, prefixes, stats := s.handleCheck, s.handleList, s.handlePrefixes, s.handleStats
 	if s.Shed != nil {
-		// Admission wraps each endpoint by cost class; /v1/check splits by
-		// method (GET cheap, POST heavy). The health probes bypass admission
-		// — a load balancer must be able to probe an overloaded server.
-		check = s.shedCheck()
-		list = s.guarded(shed.ClassHeavy, s.handleList)
-		prefixes = s.guarded(shed.ClassHeavy, s.handlePrefixes)
-		stats = s.guarded(shed.ClassCheap, s.handleStats)
+		// The health probes bypass admission — a load balancer must be able
+		// to probe an overloaded server.
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/readyz", s.handleReadyz)
 	}
-	h := &apiHandler{
-		mux:      mux,
-		check:    s.counted("check", check),
-		list:     s.counted("list", list),
-		prefixes: s.counted("prefixes", prefixes),
-		stats:    s.counted("stats", stats),
-	}
-	mux.HandleFunc("/v1/check", h.check)
-	mux.HandleFunc("/v1/list", h.list)
-	mux.HandleFunc("/v1/prefixes", h.prefixes)
-	mux.HandleFunc("/v1/stats", h.stats)
+	h := &apiHandler{mux: mux, eps: s.endpoints("")}
+	mux.HandleFunc("/v1/check", h.eps.check)
+	mux.HandleFunc("/v1/list", h.eps.list)
+	mux.HandleFunc("/v1/prefixes", h.eps.prefixes)
+	mux.HandleFunc("/v1/stats", h.eps.stats)
+	mux.HandleFunc("/v1/greylist", h.eps.greylist)
 	if s.Obs != nil {
 		mux.Handle("/metrics", obs.MetricsHandler(s.Obs))
 	}
@@ -165,22 +166,74 @@ func (s *Server) Handler() http.Handler {
 	return h
 }
 
+// endpointSet is one dataset's fully wrapped API handlers: admission-guarded
+// by cost class when the server sheds, then counted. Both a standalone
+// Server's mux and a Registry's per-dataset routing dispatch into one.
+type endpointSet struct {
+	check, list, prefixes, stats, greylist http.HandlerFunc
+}
+
+// lookup maps the final path segment to its handler; nil for unknown names.
+func (e *endpointSet) lookup(name string) http.HandlerFunc {
+	switch name {
+	case "check":
+		return e.check
+	case "list":
+		return e.list
+	case "prefixes":
+		return e.prefixes
+	case "stats":
+		return e.stats
+	case "greylist":
+		return e.greylist
+	default:
+		return nil
+	}
+}
+
+// endpoints builds the wrapped endpoint handlers. dataset, when non-empty,
+// labels the per-endpoint metrics so a Registry's datasets stay separable in
+// /metrics; the empty string keeps the single-dataset server's metric names
+// byte-identical to what it always exposed.
+func (s *Server) endpoints(dataset string) endpointSet {
+	check, list, prefixes, stats, greylist :=
+		s.handleCheck, s.handleList, s.handlePrefixes, s.handleStats, s.handleGreylist
+	if s.Shed != nil {
+		// Admission wraps each endpoint by cost class; /v1/check splits by
+		// method (GET cheap, POST heavy).
+		check = s.shedCheck()
+		list = s.guarded(shed.ClassHeavy, s.handleList)
+		prefixes = s.guarded(shed.ClassHeavy, s.handlePrefixes)
+		stats = s.guarded(shed.ClassCheap, s.handleStats)
+		greylist = s.guarded(shed.ClassCheap, s.handleGreylist)
+	}
+	return endpointSet{
+		check:    s.counted("check", dataset, check),
+		list:     s.counted("list", dataset, list),
+		prefixes: s.counted("prefixes", dataset, prefixes),
+		stats:    s.counted("stats", dataset, stats),
+		greylist: s.counted("greylist", dataset, greylist),
+	}
+}
+
 // apiHandler fast-paths the fixed API endpoints around the mux.
 type apiHandler struct {
-	mux                          *http.ServeMux
-	check, list, prefixes, stats http.HandlerFunc
+	mux *http.ServeMux
+	eps endpointSet
 }
 
 func (h *apiHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/v1/check":
-		h.check(w, r)
+		h.eps.check(w, r)
 	case "/v1/list":
-		h.list(w, r)
+		h.eps.list(w, r)
 	case "/v1/prefixes":
-		h.prefixes(w, r)
+		h.eps.prefixes(w, r)
 	case "/v1/stats":
-		h.stats(w, r)
+		h.eps.stats(w, r)
+	case "/v1/greylist":
+		h.eps.greylist(w, r)
 	default:
 		h.mux.ServeHTTP(w, r)
 	}
@@ -194,14 +247,18 @@ var latencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 // so the hot path does no name composition or registry locking. A nil
 // registry yields nil handles, whose methods are no-ops (see obs): the
 // wrapper is then just a time.Now pair around the handler.
-func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) counted(endpoint, dataset string, h http.HandlerFunc) http.HandlerFunc {
 	if s.Obs == nil {
 		// No registry, no wrapper: the uninstrumented hot path should not
 		// pay for two clock reads per request.
 		return h
 	}
-	reqs := s.Obs.Counter(obs.Name(obs.WallPrefix+"api_requests_total", "endpoint", endpoint))
-	lat := s.Obs.Histogram(obs.Name(obs.WallPrefix+"api_request_seconds", "endpoint", endpoint), latencyBuckets)
+	labels := []string{"endpoint", endpoint}
+	if dataset != "" {
+		labels = append([]string{"dataset", dataset}, labels...)
+	}
+	reqs := s.Obs.Counter(obs.Name(obs.WallPrefix+"api_requests_total", labels...))
+	lat := s.Obs.Histogram(obs.Name(obs.WallPrefix+"api_request_seconds", labels...), latencyBuckets)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
@@ -353,10 +410,15 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 
 // servePrecomputed writes a compile-time body with ETag/If-None-Match
 // revalidation and a pre-gzipped variant when the client asks for one.
+// Every response — 200 or 304, compressed or not — carries
+// Vary: Accept-Encoding: the representation depends on that request header,
+// and without Vary a shared cache could hand the gzip variant to a client
+// that refused it.
 func servePrecomputed(w http.ResponseWriter, r *http.Request, pb *precomputedBody, contentType string) {
 	h := w.Header()
 	h.Set("Content-Type", contentType)
 	h.Set("ETag", pb.etag)
+	h.Set("Vary", "Accept-Encoding")
 	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, pb.etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -383,20 +445,45 @@ func etagMatches(header, etag string) bool {
 }
 
 // acceptsGzip reports whether the Accept-Encoding header admits gzip. A
-// quality of zero ("gzip;q=0") is a refusal.
+// quality of zero — in any of RFC 9110's spellings, "q=0", "q=0.0",
+// "q=0.00", "q=0.000" — is a refusal.
 func acceptsGzip(r *http.Request) bool {
 	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
 		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
 		if enc != "gzip" && enc != "*" {
 			continue
 		}
-		q := strings.TrimSpace(params)
-		if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
-			return false
-		}
-		return true
+		return !refusesQuality(params)
 	}
 	return false
+}
+
+// refusesQuality reports whether an encoding's parameters carry a zero
+// quality weight. Only a literal zero refuses ("0" with any run of zero
+// decimals); anything else — absent, positive, or malformed — accepts, per
+// RFC 9110's "qvalue" grammar where the default weight is 1.
+func refusesQuality(params string) bool {
+	q := strings.TrimSpace(params)
+	rest, ok := strings.CutPrefix(q, "q=")
+	if !ok {
+		rest, ok = strings.CutPrefix(q, "Q=")
+	}
+	if !ok || rest == "" || rest[0] != '0' {
+		return false
+	}
+	frac := rest[1:]
+	if frac == "" {
+		return true
+	}
+	if frac[0] != '.' {
+		return false
+	}
+	for _, c := range frac[1:] {
+		if c != '0' {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -436,6 +523,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	setContentTypeJSON(w)
 	_, _ = w.Write(s.snap.Load().stats.body)
+}
+
+// GreylistAnswer is the JSON answer of /v1/greylist: the check verdict plus
+// the recommended mitigation for consumers that act on the list — greylist
+// (tempfail) reused addresses with the given window, block the rest.
+type GreylistAnswer struct {
+	Verdict
+	// Action is "tempfail" for reused addresses, "block" otherwise.
+	Action string `json:"action"`
+	// MinDelaySeconds / RetryWindowSeconds carry the greylisting window for
+	// tempfail answers: reject retries earlier than the delay, accept one
+	// inside the window.
+	MinDelaySeconds    int64 `json:"min_delay_seconds,omitempty"`
+	RetryWindowSeconds int64 `json:"retry_window_seconds,omitempty"`
+	// Expires is when this recommendation should be re-evaluated (the
+	// listing TTL for a greylisted reused address); zero for block answers,
+	// which follow the consumer's standard feed lifecycle.
+	Expires time.Time `json:"expires,omitzero"`
+}
+
+// handleGreylist answers GET /v1/greylist?ip=...: the snapshot verdict
+// mapped through greylist.Config.Recommend. Same lookup cost as a single
+// check; the JSON rendering is ordinary (this is an integration endpoint,
+// not the hot path).
+func (s *Server) handleGreylist(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", r.Method)
+		return
+	}
+	ipStr, ok := queryIP(r)
+	if !ok || ipStr == "" {
+		writeError(w, http.StatusBadRequest, "missing ip parameter", "")
+		return
+	}
+	addr, err := iputil.ParseAddr(ipStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed ip parameter", ipStr)
+		return
+	}
+	now := time.Now().UTC()
+	if s.now != nil {
+		now = s.now()
+	}
+	v := s.snap.Load().Verdict(addr)
+	rec := s.Greylist.Recommend(v.Reused, now)
+	ans := GreylistAnswer{
+		Verdict:            v,
+		Action:             rec.Action.String(),
+		MinDelaySeconds:    int64(rec.MinDelay / time.Second),
+		RetryWindowSeconds: int64(rec.RetryWindow / time.Second),
+		Expires:            rec.Expires,
+	}
+	setContentTypeJSON(w)
+	_, _ = w.Write(encodeJSONLine(ans))
 }
 
 // Check answers the verdict for addr against the current snapshot — the

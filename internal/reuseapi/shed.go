@@ -74,6 +74,10 @@ func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, pb *preco
 	h := w.Header()
 	h.Set("Content-Type", contentType)
 	h.Set("ETag", pb.etag)
+	// Same negotiation, same Vary duty as servePrecomputed: which
+	// representation (or rejection) a client gets depends on its
+	// Accept-Encoding, so every degraded response declares it too.
+	h.Set("Vary", "Accept-Encoding")
 	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, pb.etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return

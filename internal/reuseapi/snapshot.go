@@ -11,7 +11,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/reuseblock/reuseblock/internal/blocklist"
 	"github.com/reuseblock/reuseblock/internal/iputil"
 )
 
@@ -42,7 +41,11 @@ type Snapshot struct {
 	// match in ≤32 node walks, plus the rendered form of each member so
 	// the verdict encoder never calls Prefix.String per request.
 	prefixes *iputil.Table[compiledPrefix]
-	nDynamic int
+	// sortedPrefixes is the trie's member list in render order (base, then
+	// bits), retained so ApplyDelta can merge a successor list without
+	// re-walking the trie.
+	sortedPrefixes []iputil.Prefix
+	nDynamic       int
 
 	list      precomputedBody
 	prefixesB precomputedBody
@@ -55,11 +58,48 @@ type compiledPrefix struct {
 }
 
 // precomputedBody is one endpoint's response, rendered at compile time.
+//
+// The body is assembled from ordered segments, each compressed as an
+// independent gzip member (a gzip stream is a concatenation of members, and
+// both Go's gzip.Reader and browsers decode multistream bodies
+// transparently). Segments are retained so ApplyDelta can re-render and
+// recompress only the segments a delta touches and splice the cached members
+// of the rest — compression is what dominates Compile, so this is what makes
+// a delta reload cheap.
 type precomputedBody struct {
 	body []byte
-	gz   []byte // gzip of body; nil when gzip would not help
-	etag string // strong ETag, quoted
+	gz   []byte        // concatenated gzip members of body; nil when gzip would not help
+	etag string        // strong ETag, quoted
+	segs []bodySegment // ordered segments body/gz were assembled from
 }
+
+// bodySegment is one independently compressed slice of an endpoint body:
+// the header line (key segKeyHeader), the whole line run of a small body
+// (key segKeyWhole), or the run of lines whose address top byte is key.
+// Top-byte runs are contiguous in both render orders (addresses sort
+// ascending; prefixes sort by base then bits), so segment order is simply
+// ascending key.
+type bodySegment struct {
+	key  int
+	body []byte
+	gz   []byte // this segment's gzip member; filled by precomputeSegments
+}
+
+const (
+	segKeyHeader = -1
+	segKeyWhole  = -2
+)
+
+// Per-top-byte segmentation only pays once the body is large: every gzip
+// member costs ~20 bytes of framing and loses the cross-segment dictionary,
+// so below these line counts the whole body compresses as a single member
+// (byte-identical to the pre-segmentation compiler). The layout rule is a
+// pure function of the line count, so a delta compile and a full compile of
+// the same data always pick the same layout.
+const (
+	listSegMin   = 4096
+	prefixSegMin = 512
+)
 
 // Compile builds the snapshot for data. data must already be normalized.
 func Compile(data *Dataset) *Snapshot {
@@ -82,49 +122,85 @@ func Compile(data *Dataset) *Snapshot {
 	// Index the high halves once the array is big enough that a whole-array
 	// binary search starts cache-missing; small datasets don't need it.
 	if len(s.natAddrs) >= 1024 {
-		s.nat16 = make([]int32, 1<<16+1)
-		h := 0
-		for i, a := range s.natAddrs {
-			for top := int(a >> 16); h <= top; h++ {
-				s.nat16[h] = int32(i)
-			}
-		}
-		for ; h <= 1<<16; h++ {
-			s.nat16[h] = int32(len(s.natAddrs))
-		}
+		s.nat16 = buildNAT16(s.natAddrs)
 	}
 
 	s.prefixes = iputil.NewTable[compiledPrefix]()
-	sortedPrefixes := data.DynamicPrefixes.Sorted()
-	s.nDynamic = len(sortedPrefixes)
-	for _, p := range sortedPrefixes {
+	s.sortedPrefixes = data.DynamicPrefixes.Sorted()
+	s.nDynamic = len(s.sortedPrefixes)
+	for _, p := range s.sortedPrefixes {
 		s.prefixes.Insert(p, compiledPrefix{cidr: p.String()})
 	}
 
-	s.list = precompute(renderList(data, s.natAddrs))
-	s.prefixesB = precompute(renderPrefixes(data, sortedPrefixes))
-	s.stats = precompute(renderStats(s))
+	s.list = precomputeSegments(renderListSegments(s.generated, s.natAddrs))
+	s.prefixesB = precomputeSegments(renderPrefixesSegments(s.generated, s.sortedPrefixes))
+	s.stats = precomputeSegments([]bodySegment{{key: segKeyWhole, body: renderStats(s)}})
 	return s
 }
 
-// renderList produces the /v1/list body — byte-identical to what the
-// pre-snapshot server rendered per request with blocklist.WritePlain.
-func renderList(data *Dataset, sorted []iputil.Addr) []byte {
-	var buf bytes.Buffer
-	set := iputil.NewSet()
-	for _, a := range sorted {
-		set.Add(a)
+// renderListSegments produces the /v1/list body split at address top-byte
+// boundaries. Concatenated, the segments are byte-identical to what the
+// pre-snapshot server rendered per request with blocklist.WritePlain
+// ("# header\n" then one dotted quad per line in ascending order).
+func renderListSegments(generated time.Time, sorted []iputil.Addr) []bodySegment {
+	segs := []bodySegment{{key: segKeyHeader, body: []byte(fmt.Sprintf(
+		"# NATed reused addresses, generated %s\n", generated.UTC().Format(time.RFC3339)))}}
+	if len(sorted) == 0 {
+		return segs
 	}
-	_ = blocklist.WritePlain(&buf, set,
-		fmt.Sprintf("NATed reused addresses, generated %s", data.Generated.UTC().Format(time.RFC3339)))
-	return buf.Bytes()
+	if len(sorted) < listSegMin {
+		return append(segs, bodySegment{key: segKeyWhole, body: renderAddrRun(sorted)})
+	}
+	for i := 0; i < len(sorted); {
+		top := int(sorted[i] >> 24)
+		j := i
+		for j < len(sorted) && int(sorted[j]>>24) == top {
+			j++
+		}
+		segs = append(segs, bodySegment{key: top, body: renderAddrRun(sorted[i:j])})
+		i = j
+	}
+	return segs
 }
 
-// renderPrefixes produces the /v1/prefixes body.
-func renderPrefixes(data *Dataset, sorted []iputil.Prefix) []byte {
+// renderAddrRun renders one address per line, WritePlain-style.
+func renderAddrRun(addrs []iputil.Addr) []byte {
+	buf := make([]byte, 0, len(addrs)*16)
+	for _, a := range addrs {
+		buf = appendAddr(buf, a)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// renderPrefixesSegments produces the /v1/prefixes body split at base-address
+// top-byte boundaries; PrefixSet.Sorted orders by base then bits, so each
+// top byte's prefixes form one contiguous run.
+func renderPrefixesSegments(generated time.Time, sorted []iputil.Prefix) []bodySegment {
+	segs := []bodySegment{{key: segKeyHeader, body: []byte(fmt.Sprintf(
+		"# dynamic prefixes, generated %s\n", generated.UTC().Format(time.RFC3339)))}}
+	if len(sorted) == 0 {
+		return segs
+	}
+	if len(sorted) < prefixSegMin {
+		return append(segs, bodySegment{key: segKeyWhole, body: renderPrefixRun(sorted)})
+	}
+	for i := 0; i < len(sorted); {
+		top := int(sorted[i].Base() >> 24)
+		j := i
+		for j < len(sorted) && int(sorted[j].Base()>>24) == top {
+			j++
+		}
+		segs = append(segs, bodySegment{key: top, body: renderPrefixRun(sorted[i:j])})
+		i = j
+	}
+	return segs
+}
+
+// renderPrefixRun renders one CIDR per line.
+func renderPrefixRun(ps []iputil.Prefix) []byte {
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "# dynamic prefixes, generated %s\n", data.Generated.UTC().Format(time.RFC3339))
-	for _, p := range sorted {
+	for _, p := range ps {
 		fmt.Fprintln(&buf, p)
 	}
 	return buf.Bytes()
@@ -143,23 +219,69 @@ func renderStats(s *Snapshot) []byte {
 	return encodeJSONLine(st)
 }
 
-// precompute derives the ETag and gzip variant for a rendered body.
-func precompute(body []byte) precomputedBody {
+// precomputeSegments assembles segments into a served body: any segment
+// without a cached gzip member is compressed (a full Compile compresses all
+// of them; ApplyDelta only the touched ones), the segment bodies and members
+// are concatenated, and the ETag is derived from the assembled bytes. Since
+// every member is compressed independently with the same settings, the same
+// segment content yields the same bytes whichever path built it — that is
+// the delta-equivalence guarantee.
+func precomputeSegments(segs []bodySegment) precomputedBody {
+	nBody, nGz := 0, 0
+	for i := range segs {
+		if segs[i].gz == nil {
+			segs[i].gz = gzipMember(segs[i].body)
+		}
+		nBody += len(segs[i].body)
+		nGz += len(segs[i].gz)
+	}
+	body := make([]byte, 0, nBody)
+	gz := make([]byte, 0, nGz)
+	for i := range segs {
+		body = append(body, segs[i].body...)
+		gz = append(gz, segs[i].gz...)
+	}
 	sum := sha256.Sum256(body)
 	pb := precomputedBody{
 		body: body,
 		etag: `"` + hex.EncodeToString(sum[:16]) + `"`,
+		segs: segs,
 	}
-	var gz bytes.Buffer
-	w, _ := gzip.NewWriterLevel(&gz, gzip.BestCompression)
-	_, _ = w.Write(body)
-	_ = w.Close()
 	// Only keep the compressed variant when it actually saves bytes;
 	// tiny bodies gzip larger than they start.
-	if gz.Len() < len(body) {
-		pb.gz = gz.Bytes()
+	if len(gz) < len(body) {
+		pb.gz = gz
 	}
 	return pb
+}
+
+// gzipMember compresses b as one complete gzip member.
+func gzipMember(b []byte) []byte {
+	var gz bytes.Buffer
+	w, _ := gzip.NewWriterLevel(&gz, gzip.BestCompression)
+	_, _ = w.Write(b)
+	_ = w.Close()
+	return gz.Bytes()
+}
+
+// Precomputed is the exported view of one endpoint's compiled response, for
+// tests pinning the delta-compile equivalence byte-for-byte.
+type Precomputed struct {
+	Body []byte
+	Gzip []byte // nil when the identity body is served uncompressed only
+	ETag string
+}
+
+// PrecomputedBodies returns the full-body endpoints' compiled artifacts
+// keyed by endpoint name ("list", "prefixes", "stats").
+func (s *Snapshot) PrecomputedBodies() map[string]Precomputed {
+	out := make(map[string]Precomputed, 3)
+	for name, pb := range map[string]precomputedBody{
+		"list": s.list, "prefixes": s.prefixesB, "stats": s.stats,
+	} {
+		out[name] = Precomputed{Body: pb.body, Gzip: pb.gz, ETag: pb.etag}
+	}
+	return out
 }
 
 // NATedAddresses returns the number of served NATed addresses.

@@ -175,6 +175,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// DegradedMaxBatchIPs clamps batch checks while degraded. Default 256.
 	DegradedMaxBatchIPs int
+
+	// Dataset labels this controller's metrics when a server runs one
+	// controller per named dataset (multi-dataset serving); empty keeps the
+	// single-dataset server's metric names unchanged.
+	Dataset string
 }
 
 func (c Config) withDefaults() Config {
@@ -247,22 +252,31 @@ var sojournBuckets = []float64{1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 
 func New(cfg Config, reg *obs.Registry) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg, now: time.Now}
+	// A per-dataset controller prefixes every metric's labels with its
+	// dataset so multi-dataset servers stay separable in /metrics; without
+	// the label the names are byte-identical to the single-dataset build.
+	name := func(base string, kv ...string) string {
+		if cfg.Dataset != "" {
+			kv = append([]string{"dataset", cfg.Dataset}, kv...)
+		}
+		return obs.Name(base, kv...)
+	}
 	conc := [numClasses]int{ClassCheap: cfg.CheapConcurrency, ClassHeavy: cfg.HeavyConcurrency}
 	for cl := Class(0); cl < numClasses; cl++ {
 		c.gates[cl] = newGate(conc[cl], cfg.QueueLimit, cfg.Target, cfg.Interval, cfg.MaxWait)
 		for _, o := range []Outcome{Admitted, ShedQueueFull, ShedOverloaded, ShedWaitTimeout} {
-			c.mOutcome[cl][o] = reg.Counter(obs.Name(obs.WallPrefix+"shed_requests_total",
+			c.mOutcome[cl][o] = reg.Counter(name(obs.WallPrefix+"shed_requests_total",
 				"class", cl.String(), "outcome", o.String()))
 		}
-		c.hSojourn[cl] = reg.Histogram(obs.Name(obs.WallPrefix+"shed_queue_seconds",
+		c.hSojourn[cl] = reg.Histogram(name(obs.WallPrefix+"shed_queue_seconds",
 			"class", cl.String()), sojournBuckets)
 	}
 	if cfg.RatePerClient > 0 {
 		c.lim = newLimiter(cfg.RatePerClient, float64(cfg.Burst), cfg.MaxClients, c.now)
 	}
-	c.mRateLim = reg.Counter(obs.WallPrefix + "shed_rate_limited_total")
-	c.gDegraded = reg.Gauge(obs.WallPrefix + "shed_degraded")
-	c.mTransition = reg.Counter(obs.WallPrefix + "shed_mode_transitions_total")
+	c.mRateLim = reg.Counter(name(obs.WallPrefix + "shed_rate_limited_total"))
+	c.gDegraded = reg.Gauge(name(obs.WallPrefix + "shed_degraded"))
+	c.mTransition = reg.Counter(name(obs.WallPrefix + "shed_mode_transitions_total"))
 	return c
 }
 

@@ -32,17 +32,21 @@ const (
 // serveBenchDataset builds the fixed 100k-address dataset both server
 // variants serve. Deterministic so the two variants answer identically.
 func serveBenchDataset() *reuseapi.Dataset {
+	return serveBenchDatasetSized(serveBenchAddrs, serveBenchPrefixes)
+}
+
+func serveBenchDatasetSized(addrs, prefixes int) *reuseapi.Dataset {
 	rng := rand.New(rand.NewSource(7))
 	data := &reuseapi.Dataset{
-		NATUsers:        make(map[iputil.Addr]int, serveBenchAddrs),
+		NATUsers:        make(map[iputil.Addr]int, addrs),
 		DynamicPrefixes: iputil.NewPrefixSet(),
 		Generated:       time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
 	}
-	for len(data.NATUsers) < serveBenchAddrs {
+	for len(data.NATUsers) < addrs {
 		a := iputil.AddrFrom4(byte(1+rng.Intn(220)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
 		data.NATUsers[a] = 2 + rng.Intn(400)
 	}
-	for i := 0; i < serveBenchPrefixes; i++ {
+	for i := 0; i < prefixes; i++ {
 		a := iputil.AddrFrom4(byte(1+rng.Intn(220)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0)
 		data.DynamicPrefixes.Add(iputil.PrefixFrom(a, 16+rng.Intn(9)))
 	}
@@ -146,10 +150,24 @@ var serveBenchOut = struct {
 	check, list  map[string]int64
 	checkAllocs  map[string]float64
 	batchNsPerIP int64
+	deltaReload  []deltaReloadRow
 }{
 	check:       map[string]int64{},
 	list:        map[string]int64{},
 	checkAllocs: map[string]float64{},
+}
+
+// deltaReloadRow is one BENCH_serve.json delta-reload entry: the cost of
+// swapping a churned dataset in via a full Compile versus the incremental
+// ApplyDelta path, at one world scale.
+type deltaReloadRow struct {
+	Scale           int     `json:"scale"`
+	NATedAddrs      int     `json:"nated_addrs"`
+	DynamicPrefixes int     `json:"dynamic_prefixes"`
+	DeltaOps        int     `json:"delta_ops"`
+	FullNsPerOp     int64   `json:"full_compile_ns_per_op"`
+	DeltaNsPerOp    int64   `json:"apply_delta_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
 }
 
 type serveBenchVariant struct {
@@ -192,8 +210,9 @@ func writeServeBench(b *testing.B) {
 		BatchNsPerIP    int64               `json:"batch_ns_per_ip,omitempty"`
 		List            []serveBenchVariant `json:"list"`
 		ListSpeedup     float64             `json:"list_speedup"`
+		DeltaReload     []deltaReloadRow    `json:"delta_reload,omitempty"`
 	}{
-		Benchmark:       "BenchmarkServeCheck+BenchmarkServeList",
+		Benchmark:       "BenchmarkServeCheck+BenchmarkServeList+BenchmarkServeDeltaReload",
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		NATedAddrs:      serveBenchAddrs,
@@ -203,6 +222,7 @@ func writeServeBench(b *testing.B) {
 		BatchNsPerIP:    serveBenchOut.batchNsPerIP,
 		List:            variants(serveBenchOut.list, nil),
 		ListSpeedup:     speedup(serveBenchOut.list),
+		DeltaReload:     serveBenchOut.deltaReload,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -307,6 +327,99 @@ func BenchmarkServeList(b *testing.B) {
 			serveBenchOut.list[v.name] = b.Elapsed().Nanoseconds() / int64(b.N)
 			serveBenchOut.Unlock()
 		})
+	}
+
+	writeServeBench(b)
+}
+
+// serveBenchDelta is the reload churn a watch tick typically carries: one
+// provider's pool turns over — every tracked address in two /8s is dropped,
+// about as many fresh ones appear in one of them — plus a little prefix
+// movement. Clustered on purpose: that locality is what the segment-level
+// splicing in ApplyDelta exploits, and what real churn looks like.
+func serveBenchDelta(data *reuseapi.Dataset) *reuseapi.Delta {
+	rng := rand.New(rand.NewSource(13))
+	delta := &reuseapi.Delta{
+		AddNAT:    map[iputil.Addr]int{},
+		Generated: data.Generated.Add(time.Hour),
+	}
+	for a := range data.NATUsers {
+		if top := byte(a >> 24); top == 100 || top == 101 {
+			delta.RemoveNAT = append(delta.RemoveNAT, a)
+		}
+	}
+	cluster := iputil.AddrFrom4(100, 0, 0, 0)
+	for i := 0; i < len(data.NATUsers)/100; i++ {
+		delta.AddNAT[cluster|iputil.Addr(rng.Intn(1<<24))] = 2 + rng.Intn(400)
+	}
+	prefixes := data.DynamicPrefixes.Sorted()
+	delta.RemovePrefixes = prefixes[:2]
+	delta.AddPrefixes = []iputil.Prefix{
+		iputil.PrefixFrom(cluster, 12),
+		iputil.PrefixFrom(iputil.AddrFrom4(100, 64, 0, 0), 14),
+	}
+	return delta
+}
+
+// BenchmarkServeDeltaReload prices a hot reload both ways at two world
+// scales: the full recompile the classic -watch path pays versus the
+// incremental ApplyDelta the diffing reloader pays for the same churn. The
+// recorded speedup at scale 10 must stay at least 5x — that gap is why the
+// reloader diffs at all.
+func BenchmarkServeDeltaReload(b *testing.B) {
+	for _, sc := range []struct{ scale, addrs, prefixes int }{
+		{1, 10_000, 64},
+		{10, 100_000, 512},
+	} {
+		base := serveBenchDatasetSized(sc.addrs, sc.prefixes)
+		delta := serveBenchDelta(base)
+		next := delta.ApplyTo(base)
+		snap := reuseapi.Compile(base)
+
+		// Keep the comparison honest: the two paths must produce the same
+		// served bytes before their costs are worth comparing.
+		wantBodies := reuseapi.Compile(next).PrecomputedBodies()
+		gotBodies := snap.ApplyDelta(delta).PrecomputedBodies()
+		for name, w := range wantBodies {
+			if g := gotBodies[name]; !bytes.Equal(g.Body, w.Body) || !bytes.Equal(g.Gzip, w.Gzip) || g.ETag != w.ETag {
+				b.Fatalf("scale %d: ApplyDelta and full Compile disagree on %s", sc.scale, name)
+			}
+		}
+
+		var fullNs, deltaNs int64
+		b.Run(fmt.Sprintf("scale%d/full_compile", sc.scale), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = reuseapi.Compile(next)
+			}
+			b.StopTimer()
+			fullNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		})
+		b.Run(fmt.Sprintf("scale%d/apply_delta", sc.scale), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = snap.ApplyDelta(delta)
+			}
+			b.StopTimer()
+			deltaNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		})
+
+		row := deltaReloadRow{
+			Scale:           sc.scale,
+			NATedAddrs:      sc.addrs,
+			DynamicPrefixes: sc.prefixes,
+			DeltaOps:        delta.Ops(),
+			FullNsPerOp:     fullNs,
+			DeltaNsPerOp:    deltaNs,
+		}
+		if deltaNs > 0 {
+			row.Speedup = float64(fullNs) / float64(deltaNs)
+		}
+		serveBenchOut.Lock()
+		serveBenchOut.deltaReload = append(serveBenchOut.deltaReload, row)
+		serveBenchOut.Unlock()
 	}
 
 	writeServeBench(b)
